@@ -1,0 +1,258 @@
+// Countermeasure study: what would stop CR-Spectre? (quantifies paper §IV)
+//
+// The paper proposes (1) disabling clflush/mfence for unprivileged
+// processes, (2) manual inspection of overflow-prone processes, and
+// (3) shadow return-address memory. This bench quantifies the detector-side
+// equivalents our simulator can measure:
+//
+//   a. privileged flush monitor — §IV proposes disabling clflush/mfence
+//      for non-privileged processes; the measurable equivalent is a
+//      kernel-level monitor that treats *any* sustained unprivileged
+//      clflush activity as anomalous. Algorithm 2 cannot mask its own
+//      flushes (dilution lowers the rate but not to zero), so the
+//      otherwise-evading variant is caught. Notably, merely handing the
+//      same counters to the ML detector is NOT enough — the diluted flush
+//      rate sits between the trained attack cluster and benign zero, and
+//      the classifier generalises it to the benign side (measured below);
+//   b. shadow-stack signal — the ROP overflow itself fires an RSB/return
+//      mismatch, the µ-arch shadow of §IV's "shadow memory to compare ...
+//      return address manipulation": we show the injected run always
+//      carries RSB-mispredict events the benign run lacks;
+//   c. the architectural defenses (stack canary, ASLR) covered by
+//      tests/test_rop.cpp and examples/rop_injection.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/campaign.hpp"
+#include "hid/features.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace crs;
+  bench::print_header("Ablation — countermeasures (quantifying §IV)",
+                      "privileged-counter HID and the ROP shadow signal");
+
+  core::CorpusConfig cc = bench::paper_corpus_config();
+  cc.windows_per_class = 1200;
+  const auto benign = core::build_benign_corpus(cc);
+  const auto attack = core::build_attack_corpus(cc);
+
+  // The evading CR-Spectre configuration from Fig. 5(b).
+  core::ScenarioConfig evader;
+  evader.rop_injected = true;
+  evader.perturb = true;
+  evader.perturb_params.delay = 500;
+  evader.perturb_params.loop_count = 16;
+  evader.perturb_params.style = perturb::MimicStyle::kBranchy;
+  evader.host_scale = 8000;
+  evader.seed = 31337;
+  const auto run = core::run_scenario(evader);
+
+  // a. Feature-pool comparison.
+  Table table({"detector feature pool", "features", "detection of the "
+               "Fig.5(b) evader"});
+  double visible_rate = 1.0, privileged_rate = 0.0;
+  for (const bool privileged : {false, true}) {
+    hid::DetectorConfig dc;
+    dc.classifier = "MLP";
+    dc.features = hid::paper_feature_indices();
+    if (privileged) {
+      // Extend the paper's six features with the privileged counters a
+      // kernel-assisted deployment could expose.
+      dc.features.push_back(static_cast<std::size_t>(sim::Event::kClflushes));
+      dc.features.push_back(static_cast<std::size_t>(sim::Event::kMfences));
+      dc.features.push_back(
+          static_cast<std::size_t>(sim::Event::kSpecInstructions));
+      dc.features.push_back(
+          static_cast<std::size_t>(sim::Event::kRsbMispredicts));
+    }
+    hid::HidDetector det(dc);
+    ml::Dataset init = benign;
+    init.append_all(attack);
+    det.fit(init);
+
+    std::string names;
+    for (const auto f : det.selected_features()) {
+      if (!names.empty()) names += ", ";
+      names += hid::feature_name(f);
+    }
+    const double rate = det.detection_rate(run.attack_windows);
+    (privileged ? privileged_rate : visible_rate) = rate;
+    table.add_row({privileged ? "privileged (adds clflush/fence/spec/RSB)"
+                              : "PAPI-visible (deployable today)",
+                   names, bench::pct(rate) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(the ML detector generalises the diluted flush rate toward "
+              "benign-zero: more counters alone do not fix it)\n\n");
+
+  // The rule-based privileged monitor: flag any window whose clflush rate
+  // exceeds what measurement noise could explain.
+  std::size_t flagged = 0;
+  for (const auto& w : run.attack_windows) {
+    const auto f = hid::feature_vector(w.delta);
+    if (f[static_cast<std::size_t>(sim::Event::kClflushes)] > 1.0) ++flagged;
+  }
+  const double rule_rate =
+      run.attack_windows.empty()
+          ? 0.0
+          : static_cast<double>(flagged) /
+                static_cast<double>(run.attack_windows.size());
+  std::size_t benign_flagged = 0;
+  std::size_t benign_total = benign.size();
+  for (std::size_t i = 0; i < benign.size(); ++i) {
+    if (benign.x.row(i)[static_cast<std::size_t>(sim::Event::kClflushes)] >
+        1.0) {
+      ++benign_flagged;
+    }
+  }
+  std::printf("rule-based flush monitor (window flagged when clflush > "
+              "1/kilo-instr):\n  evader windows flagged: %s%%   benign "
+              "windows flagged: %s%%\n\n",
+              bench::pct(rule_rate).c_str(),
+              bench::pct(static_cast<double>(benign_flagged) /
+                         static_cast<double>(benign_total)).c_str());
+
+  bench::shape_check("the evader beats the PAPI-visible detector (<55%)",
+                     visible_rate < 0.55);
+  bench::shape_check(
+      "an ML detector with privileged counters still misses the diluted "
+      "variant (<55%) — counters alone are not the fix",
+      privileged_rate < 0.55);
+  bench::shape_check(
+      "the rule-based privileged flush monitor catches it (>80% of attack "
+      "windows, ~0 benign false positives) — §IV's clflush restriction "
+      "works",
+      rule_rate > 0.80 &&
+          benign_flagged < benign_total / 50);
+
+  // a2. The arms race: under a clflush ban the attacker switches to the
+  // prime+probe receiver (zero clflush, zero mfence). The flush monitor
+  // goes blind; what does the ML HID see?
+  {
+    core::ScenarioConfig pp = evader;
+    pp.rop_injected = false;  // standalone: the channel is what matters here
+    pp.perturb = false;       // Algorithm 2 itself uses clflush — banned too
+    const auto source = [&] {
+      attack::AttackConfig acfg = core::make_attack_config(pp, 0);
+      acfg.embed_secret = pp.secret;
+      acfg.channel = attack::CovertChannel::kPrimeProbe;
+      acfg.rounds_per_byte = 3;
+      return acfg;
+    }();
+    sim::Machine machine;
+    sim::Kernel kernel(machine);
+    kernel.register_binary("/bin/pp", attack::build_attack_binary(source));
+    const auto run = hid::profile_run_strings(kernel, "/bin/pp", {"pp"}, {});
+    const bool leaked = run.output == pp.secret;
+
+    std::size_t pp_flagged = 0;
+    for (const auto& w : run.windows) {
+      const auto f = hid::feature_vector(w.delta);
+      if (f[static_cast<std::size_t>(sim::Event::kClflushes)] > 1.0)
+        ++pp_flagged;
+    }
+    hid::DetectorConfig dc;
+    dc.classifier = "MLP";
+    dc.features = hid::paper_feature_indices();
+    hid::HidDetector det(dc);
+    ml::Dataset init = benign;
+    init.append_all(attack);
+    det.fit(init);
+    const double ml_rate = det.detection_rate(run.windows);
+
+    std::printf("arms race: prime+probe CR-Spectre (no clflush/mfence at "
+                "all) — secret %s\n",
+                leaked ? "LEAKED" : "not recovered");
+    std::printf("  flush monitor flags %s%% of its windows; visible-feature "
+                "ML HID detects %s%%\n\n",
+                bench::pct(static_cast<double>(pp_flagged) /
+                           static_cast<double>(run.windows.size())).c_str(),
+                bench::pct(ml_rate).c_str());
+    bench::shape_check(
+        "the prime+probe fallback defeats the flush monitor (0% flagged) — "
+        "a clflush ban alone is not the end of the arms race",
+        leaked && pp_flagged == 0);
+    std::printf("  (the visible-feature HID's rate on the prime+probe "
+                "attack is reported above for reference: its miss-heavy\n"
+                "   streaming pattern resembles benign media/KV workloads, "
+                "so detectability is configuration-dependent)\n\n");
+  }
+
+  // a3. The final act: the banned attacker perturbs too — Algorithm 2
+  // with eviction walks instead of clflush/mfence, plus dispersal. Fully
+  // flush-free AND diluted.
+  {
+    core::ScenarioConfig pp = evader;
+    pp.rop_injected = false;
+    attack::AttackConfig acfg = core::make_attack_config(pp, 0);
+    acfg.embed_secret = pp.secret;
+    acfg.channel = attack::CovertChannel::kPrimeProbe;
+    acfg.rounds_per_byte = 3;
+    acfg.perturb = true;
+    acfg.perturb_params.flushless = true;
+    acfg.perturb_params.delay = 2000;
+    acfg.perturb_params.loop_count = 12;
+    sim::Machine machine;
+    sim::Kernel kernel(machine);
+    kernel.register_binary("/bin/ppf", attack::build_attack_binary(acfg));
+    const auto run = hid::profile_run_strings(kernel, "/bin/ppf", {"ppf"}, {});
+
+    hid::DetectorConfig dc;
+    dc.classifier = "MLP";
+    dc.features = hid::paper_feature_indices();
+    hid::HidDetector det(dc);
+    ml::Dataset init = benign;
+    init.append_all(attack);
+    det.fit(init);
+    const double ml_rate = det.detection_rate(run.windows);
+    const bool leaked = run.output == pp.secret;
+    std::printf("final act: prime+probe + flushless Algorithm 2 + "
+                "dispersal — secret %s, ML HID detects %s%%, flushes %llu\n\n",
+                leaked ? "LEAKED" : "not recovered",
+                bench::pct(ml_rate).c_str(),
+                static_cast<unsigned long long>(
+                    machine.pmu().count(sim::Event::kClflushes)));
+    bench::shape_check(
+        "a fully flush-free, diluted CR-Spectre evades both the flush "
+        "monitor and the ML HID (<55%) — the complete counter-countermeasure",
+        leaked && ml_rate < 0.55);
+  }
+
+  // b. The ROP shadow signal.
+  std::uint64_t injected_rsb = 0;
+  for (const auto& w : run.profile.windows) {
+    injected_rsb +=
+        w.true_delta[static_cast<std::size_t>(sim::Event::kRsbMispredicts)];
+  }
+  core::ScenarioConfig benign_sc = evader;
+  benign_sc.rop_injected = false;
+  benign_sc.perturb = false;
+  // A benign host run: same host, benign input.
+  std::uint64_t benign_rsb = 0;
+  {
+    sim::Machine machine;
+    sim::Kernel kernel(machine);
+    workloads::WorkloadOptions wopt;
+    wopt.scale = 8000;
+    wopt.secret = evader.secret;
+    kernel.register_binary("/bin/h",
+                           workloads::build_workload("basicmath", wopt));
+    const auto p = hid::profile_run_strings(kernel, "/bin/h",
+                                            {"basicmath", "hello"}, {});
+    for (const auto& w : p.windows) {
+      benign_rsb +=
+          w.true_delta[static_cast<std::size_t>(sim::Event::kRsbMispredicts)];
+    }
+  }
+  std::printf("shadow-stack signal: return-address/RSB mismatches — benign "
+              "host run %llu, ROP-injected run %llu\n\n",
+              static_cast<unsigned long long>(benign_rsb),
+              static_cast<unsigned long long>(injected_rsb));
+  bench::shape_check(
+      "the ROP overflow leaves a return-address mismatch the benign run "
+      "lacks — §IV's shadow-memory check would fire",
+      injected_rsb > benign_rsb);
+  return 0;
+}

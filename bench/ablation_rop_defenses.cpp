@@ -1,0 +1,62 @@
+// Ablation: architectural ROP defenses vs the injection chain (paper §I).
+//
+// The paper discusses Stack Canaries and ASLR as classic ROP mitigations
+// (noting both can be bypassed on real systems). This bench runs the full
+// CR-Spectre injection against every combination across multiple hosts and
+// reports what stops the chain and how:
+//   - no defense      → execve fires, the secret is stolen, host resumes;
+//   - stack canary    → the overflow corrupts the canary; the process is
+//                       killed before the chain runs;
+//   - ASLR            → the payload's link-time gadget addresses miss; the
+//                       chain faults before execve.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/scenario.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace crs;
+  bench::print_header("Ablation — architectural ROP defenses",
+                      "paper §I: Stack Canaries / ASLR vs the overflow chain");
+
+  Table table({"host", "defenses", "execve fired", "secret stolen",
+               "host completed"});
+  bool undefended_all_stolen = true;
+  bool defended_none_stolen = true;
+
+  for (const char* host : {"basicmath", "crc32", "stringsearch"}) {
+    for (int mode = 0; mode < 3; ++mode) {
+      core::ScenarioConfig sc;
+      sc.host = host;
+      sc.host_scale = 3000;
+      sc.rop_injected = true;
+      sc.canary = mode == 1;
+      sc.aslr = mode == 2;
+      sc.seed = 7000 + mode;
+      const auto run = core::run_scenario(sc);
+
+      const bool stolen = run.secret_recovered;
+      if (mode == 0 && !stolen) undefended_all_stolen = false;
+      if (mode != 0 && stolen) defended_none_stolen = false;
+
+      table.add_row({host,
+                     mode == 0   ? "none"
+                     : mode == 1 ? "stack canary"
+                                 : "ASLR",
+                     run.attack_launched ? "yes" : "no",
+                     stolen ? "YES" : "no",
+                     run.profile.stop == sim::StopReason::kHalted
+                         ? "yes"
+                         : "killed"});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+  bench::shape_check("every undefended host is fully compromised",
+                     undefended_all_stolen);
+  bench::shape_check(
+      "either classic defense stops the chain on every host "
+      "(the paper's §I premise before discussing their known bypasses)",
+      defended_none_stolen);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: how deep must speculation run for the leak to work?
+//
+// Sweeps the CPU's wrong-path window (ROB-style bound on transient
+// execution) and reports whether the standalone attack recovers the
+// secret, per variant. The Spectre-PHT/stride gadget needs ~8 transient
+// instructions; the RSB gadget ~5. Window 0 is the InvisiSpec-style
+// "no transient side effects" baseline. This is the design-choice study
+// for CpuConfig::max_spec_window called out in DESIGN.md.
+#include <cstdio>
+
+#include "attack/spectre.hpp"
+#include "bench_util.hpp"
+#include "sim/kernel.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+bool recovers(crs::attack::SpectreVariant variant, std::uint32_t window,
+              std::string* out = nullptr) {
+  using namespace crs;
+  const std::string secret = "WINDOW-SWEEP-KEY";
+  attack::AttackConfig cfg;
+  cfg.variant = variant;
+  cfg.embed_secret = secret;
+  cfg.secret_length = static_cast<std::uint32_t>(secret.size());
+  sim::MachineConfig mcfg;
+  mcfg.cpu.max_spec_window = window;
+  sim::Machine machine(mcfg);
+  sim::Kernel kernel(machine);
+  kernel.register_binary("/bin/a", attack::build_attack_binary(cfg));
+  kernel.start_with_strings("/bin/a", {});
+  kernel.run(500'000'000);
+  if (out != nullptr) *out = kernel.output_string();
+  return kernel.output_string() == secret;
+}
+
+}  // namespace
+
+int main() {
+  using namespace crs;
+  bench::print_header("Ablation — speculation window vs leak success",
+                      "design study (InvisiSpec-style defense at window 0)");
+
+  const std::uint32_t windows[] = {0, 2, 4, 6, 8, 12, 16, 32, 64, 128};
+  Table table({"window", "spectre-pht", "spectre-rsb", "spectre-stride",
+               "spectre-btb"});
+  bool zero_blocked = true;
+  bool large_works = true;
+  for (const auto w : windows) {
+    std::vector<std::string> row{std::to_string(w)};
+    for (const auto v : attack::all_variants()) {
+      const bool ok = recovers(v, w);
+      row.push_back(ok ? "leaks" : "safe");
+      if (w == 0 && ok) zero_blocked = false;
+      if (w >= 32 && !ok) large_works = false;
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  bench::shape_check("window 0 (no transient execution) blocks every variant",
+                     zero_blocked);
+  bench::shape_check("a realistic window (>=32) leaks for every variant",
+                     large_works);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the figure/table benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/corpus.hpp"
+#include "support/strings.hpp"
+
+namespace crs::bench {
+
+/// Paper §III-A: 2000 samples per class, 70/30 split downstream.
+inline core::CorpusConfig paper_corpus_config() {
+  core::CorpusConfig cc;
+  cc.windows_per_class = 2000;
+  cc.host_scale = 400;
+  return cc;
+}
+
+inline std::string pct(double fraction) { return fixed(100.0 * fraction, 1); }
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_reference) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_reference.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void shape_check(const std::string& claim, bool holds) {
+  std::printf("[shape %-4s] %s\n", holds ? "OK" : "DIFF", claim.c_str());
+}
+
+}  // namespace crs::bench

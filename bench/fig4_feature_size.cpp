@@ -1,0 +1,77 @@
+// Figure 4: HID accuracy vs feature size for four host applications.
+//
+// Paper setting (§III-B1): classify Spectre (averaged over variants)
+// against MiBench application i plus the other benign applications, with
+// feature sizes {16, 8, 4, 2, 1}; 2000 samples per class, 70/30 split.
+// Expected shape: >80% for sizes >= 2; >90% at size 4 (the chosen runtime
+// configuration); the paper additionally reports size 1 as inefficient —
+// see EXPERIMENTS.md for why this reproduction stays high there.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "ml/dataset.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+#include "hid/detector.hpp"
+#include "hid/features.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace crs;
+  bench::print_header("Fig. 4 — HID accuracy vs feature size",
+                      "Figure 4 (Spectre_1..4 bars, feature sizes 16/8/4/2/1)");
+
+  // The §III-B1 claim: a larger event inventory exists offline.
+  std::printf("PMU inventory: %zu modelled events (+2 derived aggregates) — "
+              "the paper's testbed exposes 56.\n",
+              sim::kEventCount);
+  std::printf("PMU-visible feature pool for the detector: %zu\n\n",
+              hid::detector_visible_features().size());
+
+  const char* hosts[] = {"basicmath", "bitcount", "sha", "qsort"};
+  const std::size_t sizes[] = {16, 8, 4, 2, 1};
+
+  Table table({"host (Spectre_i)", "k=16", "k=8", "k=4", "k=2", "k=1"});
+  double min_k4 = 1.0, min_k2 = 1.0;
+
+  for (int hi = 0; hi < 4; ++hi) {
+    core::CorpusConfig cc = bench::paper_corpus_config();
+    // Benign class: the host itself + the browser/editor-style pool.
+    cc.benign_apps = {hosts[hi]};
+    for (const auto& w : workloads::benign_pool_catalog()) {
+      cc.benign_apps.push_back(w.name);
+    }
+    cc.seed = 1000 + hi;
+    const auto benign = core::build_benign_corpus(cc);
+    const auto attack = core::build_attack_corpus(cc);
+
+    ml::Dataset all = benign;
+    all.append_all(attack);
+    Rng rng(42);
+    const auto split = ml::train_test_split(all, 0.7, rng);
+
+    std::vector<std::string> row{std::string(hosts[hi])};
+    for (const std::size_t k : sizes) {
+      hid::DetectorConfig dc;
+      dc.classifier = "MLP";
+      dc.feature_count = k;
+      hid::HidDetector det(dc);
+      det.fit(split.train);
+      const auto cm = det.evaluate(split.test);
+      const double acc = cm.balanced_accuracy();
+      row.push_back(bench::pct(acc));
+      if (k == 4) min_k4 = std::min(min_k4, acc);
+      if (k == 2) min_k2 = std::min(min_k2, acc);
+    }
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("(balanced accuracy %%, MLP detector, Fisher top-k features,\n"
+              " Spectre averaged over pht/rsb/stride variants)\n\n");
+
+  bench::shape_check(">80% accuracy for every host at feature size >= 2",
+                     min_k2 > 0.80);
+  bench::shape_check(">90% accuracy at the paper's chosen size 4",
+                     min_k4 > 0.90);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 5: offline-type HID vs (a) traditional Spectre and (b) CR-Spectre.
+//
+// Paper setting (§III-B2): a statically trained HID (no retraining)
+// observes 10 attack attempts. (a) the standalone Spectre binary is
+// detected with high accuracy (86–96%). (b) the ROP-injected CR-Spectre
+// with a single static perturbation variant (the offline attacker does not
+// mutate: "CR-Spectre only generates one variation of perturbation")
+// degrades accuracy below the 55% evasion threshold, bottoming out near
+// the paper's 16%.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/campaign.hpp"
+#include "hid/features.hpp"
+#include "ml/mlp.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace crs;
+  bench::print_header("Fig. 5 — offline HID: Spectre vs CR-Spectre",
+                      "Figure 5(a) and 5(b), 10 attempts x 4 classifiers");
+
+  const auto cc = bench::paper_corpus_config();
+  const auto benign = core::build_benign_corpus(cc);
+  const auto attack = core::build_attack_corpus(cc);
+  std::printf("training corpus: %zu benign + %zu attack windows "
+              "(70/30 handled inside the detector's evaluation)\n\n",
+              benign.size(), attack.size());
+
+  const auto zoo = ml::classifier_zoo();
+
+  for (const bool cr_spectre : {false, true}) {
+    std::printf(cr_spectre
+                    ? "--- Fig. 5(b): CR-Spectre (ROP-injected, one static "
+                      "perturbation variant) ---\n"
+                    : "--- Fig. 5(a): traditional (standalone) Spectre ---\n");
+    std::vector<std::string> header{"classifier"};
+    for (int a = 1; a <= 10; ++a) header.push_back("a" + std::to_string(a));
+    header.push_back("mean");
+    Table table(header);
+
+    double min_mean = 1.0, max_mean = 0.0;
+    for (const auto& kind : zoo) {
+      core::CampaignConfig cfg;
+      cfg.scenario.rop_injected = cr_spectre;
+      cfg.scenario.perturb = cr_spectre;
+      // The offline attacker's single variant: Algorithm 2 plus the
+      // branchy dispersal flavour (no dynamic mutation). Chosen by the
+      // ablation_perturbation study: it is the variant that evades every
+      // classifier in the zoo, including the margin-based SVM.
+      cfg.scenario.perturb_params.delay = 500;
+      cfg.scenario.perturb_params.loop_count = 16;
+      cfg.scenario.perturb_params.style = perturb::MimicStyle::kBranchy;
+      cfg.detector.classifier = kind;
+      cfg.detector.features = hid::paper_feature_indices();
+      cfg.online_hid = false;
+      cfg.dynamic_perturbation = false;
+      cfg.attempts = 10;
+      cfg.seed = 77 + (cr_spectre ? 100 : 0);
+      const auto r = core::run_campaign(cfg, benign, attack);
+
+      std::vector<std::string> row{kind};
+      for (const auto& a : r.attempts) row.push_back(bench::pct(a.detection_rate));
+      row.push_back(bench::pct(r.mean_detection()));
+      table.add_row(row);
+      min_mean = std::min(min_mean, r.mean_detection());
+      max_mean = std::max(max_mean, r.mean_detection());
+    }
+    std::printf("%s\n", table.render().c_str());
+    if (!cr_spectre) {
+      bench::shape_check("standalone Spectre detected at >80% by every "
+                         "classifier (paper: 86-96%)",
+                         min_mean > 0.80);
+    } else {
+      bench::shape_check("CR-Spectre evades the offline HID: mean detection "
+                         "<=55% for every classifier (paper: degrades to ~16%)",
+                         max_mean <= 0.55);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

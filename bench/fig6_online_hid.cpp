@@ -1,0 +1,87 @@
+// Figure 6: online-learning HID vs (a) traditional Spectre and (b)
+// CR-Spectre with defense-aware dynamic perturbation.
+//
+// Paper setting (§II-E, §III-B2): after every attempt the HID retrains on
+// the newly profiled traces (online learning); the attacker mutates the
+// perturbation parameters whenever it was detected (accuracy > 80%).
+// Expected shapes: (a) the retrained HID stays high and level on the
+// unchanging standalone Spectre; (b) detection oscillates — the HID
+// recovers after retraining on a variant, the mutation drops it again,
+// with minima far below the 55% evasion threshold (paper: down to 16%).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/campaign.hpp"
+#include "hid/features.hpp"
+#include "ml/mlp.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace crs;
+  bench::print_header("Fig. 6 — online HID: Spectre vs dynamic CR-Spectre",
+                      "Figure 6(a) and 6(b), 10 attempts x 4 classifiers");
+
+  const auto cc = bench::paper_corpus_config();
+  const auto benign = core::build_benign_corpus(cc);
+  const auto attack = core::build_attack_corpus(cc);
+
+  const auto zoo = ml::classifier_zoo();
+
+  for (const bool cr_spectre : {false, true}) {
+    std::printf(cr_spectre
+                    ? "--- Fig. 6(b): CR-Spectre with dynamic perturbation "
+                      "('*' = attacker mutated after the attempt) ---\n"
+                    : "--- Fig. 6(a): traditional Spectre, online HID ---\n");
+    std::vector<std::string> header{"classifier"};
+    for (int a = 1; a <= 10; ++a) header.push_back("a" + std::to_string(a));
+    header.push_back("min");
+    Table table(header);
+
+    double min_of_means = 1.0;
+    double lowest = 1.0;
+    bool any_recovery = false;
+    for (const auto& kind : zoo) {
+      core::CampaignConfig cfg;
+      cfg.scenario.rop_injected = cr_spectre;
+      cfg.scenario.perturb = cr_spectre;
+      // Initial variant: a diluted style; mutation explores from here.
+      cfg.scenario.perturb_params.delay = 2000;
+      cfg.scenario.perturb_params.loop_count = 16;
+      cfg.detector.classifier = kind;
+      cfg.detector.features = hid::paper_feature_indices();
+      cfg.detector.online_mode = hid::OnlineMode::kIncremental;
+      cfg.online_hid = true;
+      cfg.dynamic_perturbation = cr_spectre;
+      cfg.attempts = 10;
+      cfg.seed = 99 + (cr_spectre ? 1000 : 0);
+      const auto r = core::run_campaign(cfg, benign, attack);
+
+      std::vector<std::string> row{kind};
+      for (const auto& a : r.attempts) {
+        row.push_back(bench::pct(a.detection_rate) +
+                      (a.mutated_after ? "*" : ""));
+      }
+      row.push_back(bench::pct(r.min_detection()));
+      table.add_row(row);
+      min_of_means = std::min(min_of_means, r.mean_detection());
+      lowest = std::min(lowest, r.min_detection());
+      any_recovery |= r.max_detection() > 0.80 && r.min_detection() < 0.55;
+    }
+    std::printf("%s\n", table.render().c_str());
+    if (!cr_spectre) {
+      bench::shape_check(
+          "online HID keeps standalone Spectre detection high and level",
+          min_of_means > 0.85);
+    } else {
+      bench::shape_check(
+          "dynamic CR-Spectre dips below the 55% evasion threshold "
+          "(paper: minima ~16%)",
+          lowest < 0.55);
+      bench::shape_check(
+          "online HID partially recovers between mutations (oscillation)",
+          any_recovery);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Micro-benchmarks of the simulation substrate (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "attack/spectre.hpp"
+#include "casm/assembler.hpp"
+#include "casm/runtime.hpp"
+#include "rop/gadget.hpp"
+#include "sim/kernel.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace crs;
+
+void BM_CpuThroughput(benchmark::State& state) {
+  workloads::WorkloadOptions opt;
+  opt.scale = 100000;
+  const auto prog = workloads::build_workload("bitcount", opt);
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Machine machine;
+    sim::Kernel kernel(machine);
+    kernel.register_binary("/bin/w", prog);
+    kernel.start_with_strings("/bin/w", {"w"});
+    state.ResumeTiming();
+    kernel.run(2'000'000'000);
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(machine.cpu().retired()));
+  }
+}
+BENCHMARK(BM_CpuThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::MemoryHierarchy hier;
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hier.access_data(addr));
+    addr = (addr + 64) & 0xFFFFF;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_BranchPredictor(benchmark::State& state) {
+  sim::BranchPredictor bp;
+  std::uint64_t pc = 0x10000;
+  bool taken = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bp.pht().predict_taken(pc));
+    bp.pht().update(pc, taken);
+    taken = !taken;
+    pc += 8;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+void BM_Assemble(benchmark::State& state) {
+  workloads::WorkloadOptions opt;
+  opt.scale = 100;
+  const auto source = workloads::generate_workload_source("sha", opt) +
+                      casm::runtime_library();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(casm::assemble(source));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Assemble)->Unit(benchmark::kMicrosecond);
+
+void BM_GadgetScan(benchmark::State& state) {
+  workloads::WorkloadOptions opt;
+  opt.scale = 100;
+  const auto prog = workloads::build_workload("basicmath", opt);
+  rop::GadgetScanner scanner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanner.scan(prog));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GadgetScan)->Unit(benchmark::kMicrosecond);
+
+void BM_AttackBinaryGeneration(benchmark::State& state) {
+  attack::AttackConfig cfg;
+  cfg.embed_secret = "MICROBENCH-SECRT";
+  cfg.perturb = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attack::build_attack_binary(cfg));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttackBinaryGeneration)->Unit(benchmark::kMicrosecond);
+
+void BM_SpectreEndToEnd(benchmark::State& state) {
+  attack::AttackConfig cfg;
+  cfg.embed_secret = "MICROBENCH-SECRT";
+  cfg.secret_length = 16;
+  const auto prog = attack::build_attack_binary(cfg);
+  for (auto _ : state) {
+    sim::Machine machine;
+    sim::Kernel kernel(machine);
+    kernel.register_binary("/bin/a", prog);
+    kernel.start_with_strings("/bin/a", {});
+    kernel.run(1'000'000'000);
+    benchmark::DoNotOptimize(kernel.output_string());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);  // bytes leaked
+}
+BENCHMARK(BM_SpectreEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

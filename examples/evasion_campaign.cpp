@@ -1,0 +1,58 @@
+// A miniature version of the paper's headline experiment: CR-Spectre with
+// defense-aware dynamic perturbation versus an online-learning HID.
+//
+// Prints the per-attempt detection accuracy, the perturbation variant in
+// play, and the attacker's mutation decisions — the Fig. 6(b) story in a
+// few seconds.
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "core/corpus.hpp"
+#include "hid/features.hpp"
+#include "support/strings.hpp"
+
+int main() {
+  using namespace crs;
+
+  std::printf("building training corpora (benign apps + clean Spectre)...\n");
+  core::CorpusConfig cc;
+  cc.windows_per_class = 800;
+  const auto benign = core::build_benign_corpus(cc);
+  const auto attack = core::build_attack_corpus(cc);
+  std::printf("  %zu benign / %zu attack windows\n\n", benign.size(),
+              attack.size());
+
+  core::CampaignConfig cfg;
+  cfg.scenario.rop_injected = true;
+  cfg.scenario.perturb = true;
+  cfg.scenario.perturb_params.delay = 2000;
+  cfg.scenario.perturb_params.loop_count = 16;
+  cfg.scenario.host_scale = 12000;
+  cfg.detector.classifier = "MLP";
+  cfg.detector.features = hid::paper_feature_indices();
+  cfg.online_hid = true;
+  cfg.dynamic_perturbation = true;
+  cfg.attempts = 8;
+  cfg.seed = 2026;
+
+  std::printf("campaign: CR-Spectre (ROP-injected into basicmath) vs an "
+              "online MLP HID\n");
+  std::printf("evade <= %.0f%%, detected >= %.0f%% (triggers mutation)\n\n",
+              100 * cfg.evade_threshold, 100 * cfg.detect_threshold);
+
+  const auto result = core::run_campaign(cfg, benign, attack);
+  for (const auto& a : result.attempts) {
+    std::printf("attempt %2d: detection %5.1f%%  %s  secret %s  variant [%s]%s\n",
+                a.attempt, 100 * a.detection_rate,
+                a.evaded     ? "EVADED  "
+                : a.detected ? "DETECTED"
+                             : "partial ",
+                a.secret_recovered ? "stolen" : "-lost-",
+                a.params.describe().c_str(),
+                a.mutated_after ? "  -> mutating" : "");
+  }
+  std::printf("\nmean detection %.1f%%, min %.1f%% (paper: degrades from "
+              "~90%% to 16%%)\n",
+              100 * result.mean_detection(), 100 * result.min_detection());
+  return 0;
+}

@@ -1,0 +1,107 @@
+// The full CR-Spectre injection, step by step (paper Fig. 1):
+//
+//   1. harvest ROP gadgets from the host binary (GDB-style, offline),
+//   2. recon the vulnerable stack frame with a benign run,
+//   3. build the Listing-1 overflow payload,
+//   4. pass it as the host's input: the overflow chains `pop r1; pop r0;
+//      syscall` into execve("/bin/cr_spectre") and resumes the host,
+//   5. the injected Spectre leaks the host's secret under its identity,
+//   6. re-run with Stack Canaries and ASLR to watch both defenses stop it.
+#include <cstdio>
+
+#include "attack/spectre.hpp"
+#include "rop/plan.hpp"
+#include "sim/kernel.hpp"
+#include "support/strings.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace crs;
+
+constexpr const char* kSecret = "host-db-password";
+
+sim::Program make_host(bool canary) {
+  workloads::WorkloadOptions opt;
+  opt.scale = 3000;
+  opt.canary = canary;
+  opt.secret = kSecret;
+  return workloads::build_workload("basicmath", opt);
+}
+
+void attempt(const sim::Program& host, const rop::InjectionPlan& plan,
+             const sim::Program& attack_bin, bool aslr, const char* label) {
+  sim::KernelConfig kcfg;
+  kcfg.aslr = aslr;
+  sim::Machine machine;
+  sim::Kernel kernel(machine, kcfg);
+  kernel.register_binary("/bin/host", host);
+  kernel.register_binary("/bin/cr_spectre", attack_bin);
+  std::vector<std::vector<std::uint8_t>> args;
+  args.emplace_back(4, 'h');  // argv[0]
+  args.push_back(plan.payload.bytes);
+  kernel.start("/bin/host", args);
+  const auto reason = kernel.run(500'000'000);
+
+  std::printf("[%s]\n", label);
+  std::printf("  run: %s, execve fired: %s\n",
+              reason == sim::StopReason::kHalted ? "completed" : "KILLED",
+              kernel.execve_count() > 0 ? "yes" : "no");
+  if (reason == sim::StopReason::kFault) {
+    std::printf("  fault: %s\n",
+                machine.cpu().fault().kind == sim::FaultKind::kStackCanary
+                    ? "stack canary corruption detected"
+                    : "memory fault (payload addresses invalid)");
+  }
+  const std::string leaked = kernel.output_string();
+  std::printf("  exfiltrated: \"%s\" -> %s\n\n", leaked.c_str(),
+              leaked == kSecret ? "SECRET STOLEN" : "attack failed");
+}
+
+}  // namespace
+
+int main() {
+  using namespace crs;
+
+  const sim::Program host = make_host(/*canary=*/false);
+  std::printf("host: basicmath with a %s-byte secret at %s "
+              "(never accessed by the host itself)\n\n",
+              std::to_string(std::string(kSecret).size()).c_str(),
+              hex(host.symbol("host_secret")).c_str());
+
+  // 1-3. The adversary's offline phase.
+  rop::ReconSpec rspec;
+  rspec.path = "/bin/host";
+  const rop::InjectionPlan plan =
+      rop::plan_injection(host, rspec, "/bin/cr_spectre");
+
+  std::printf("gadget catalogue: %zu gadgets; the chain uses\n",
+              plan.gadgets.size());
+  std::printf("  pop r1; ret @ %s\n", hex(plan.payload.pop_r1_gadget).c_str());
+  std::printf("  pop r0; ret @ %s\n", hex(plan.payload.pop_r0_gadget).c_str());
+  std::printf("  syscall; ret @ %s\n", hex(plan.payload.syscall_gadget).c_str());
+  std::printf("frame recon: buffer @ %s, saved return @ %s -> filler %llu "
+              "bytes (paper: 108)\n",
+              hex(plan.frame.buffer_address).c_str(),
+              hex(plan.frame.return_slot).c_str(),
+              static_cast<unsigned long long>(plan.frame.filler_length));
+  std::printf("payload: %zu bytes (path string + filler + 6 chain words)\n\n",
+              plan.payload.bytes.size());
+
+  attack::AttackConfig acfg;
+  acfg.target_secret_address = host.symbol("host_secret");
+  acfg.secret_length = static_cast<std::uint32_t>(std::string(kSecret).size());
+  const sim::Program attack_bin = attack::build_attack_binary(acfg);
+
+  // 4-5. The attack run.
+  attempt(host, plan, attack_bin, /*aslr=*/false, "no defenses");
+
+  // 6. Defenses.
+  const sim::Program host_canary = make_host(/*canary=*/true);
+  const rop::InjectionPlan plan_canary =
+      rop::plan_injection(host_canary, rspec, "/bin/cr_spectre");
+  attempt(host_canary, plan_canary, attack_bin, /*aslr=*/false,
+          "stack canary enabled");
+  attempt(host, plan, attack_bin, /*aslr=*/true, "ASLR enabled");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// HPC profiler demo: run any workload from the catalogue under the
+// windowed profiler and print its micro-architectural signature — the view
+// the HID trains on.
+//
+//   $ ./workload_profiler            # profiles every workload briefly
+//   $ ./workload_profiler sha 200    # one workload at a chosen scale
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "hid/features.hpp"
+#include "hid/profiler.hpp"
+#include "sim/kernel.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace crs;
+
+void profile_one(Table& table, const std::string& name, std::uint64_t scale) {
+  workloads::WorkloadOptions opt;
+  opt.scale = scale;
+  sim::Machine machine;
+  sim::Kernel kernel(machine);
+  kernel.register_binary("/bin/w", workloads::build_workload(name, opt));
+  const auto r =
+      hid::profile_run_strings(kernel, "/bin/w", {name, "input"}, {});
+  if (r.windows.empty()) return;
+
+  // Mean of the paper's six features over the run's windows.
+  const auto idx = hid::paper_feature_indices();
+  std::vector<double> mean(idx.size(), 0.0);
+  for (const auto& w : r.windows) {
+    const auto f = hid::feature_vector(w.delta);
+    for (std::size_t j = 0; j < idx.size(); ++j) mean[j] += f[idx[j]];
+  }
+  for (auto& m : mean) m /= static_cast<double>(r.windows.size());
+
+  table.add_row({name, std::to_string(r.windows.size()), fixed(r.ipc(), 3),
+                 fixed(mean[0], 1), fixed(mean[1], 0), fixed(mean[2], 1),
+                 fixed(mean[3], 2), fixed(mean[4], 0), fixed(mean[5], 0)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crs;
+
+  Table table({"workload", "windows", "IPC", "miss/k", "acc/k", "br/k",
+               "misp/k", "instr/win", "cyc/k"});
+
+  if (argc >= 2) {
+    const std::string name = argv[1];
+    const std::uint64_t scale =
+        argc >= 3 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 400;
+    if (!workloads::is_known_workload(name)) {
+      std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+      return 1;
+    }
+    profile_one(table, name, scale);
+  } else {
+    std::printf("hosts (MiBench-like):\n");
+    for (const auto& w : workloads::host_catalog()) {
+      std::printf("  %-13s %s\n", w.name.c_str(), w.description.c_str());
+      profile_one(table, w.name, 400);
+    }
+    std::printf("benign pool (browsers, editors, ...):\n");
+    for (const auto& w : workloads::benign_pool_catalog()) {
+      std::printf("  %-13s %s\n", w.name.c_str(), w.description.c_str());
+      profile_one(table, w.name, 400);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf("\n(features per kilo-instruction; the HID's view after "
+              "measurement noise)\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "casm/runtime.hpp"
+
+namespace crs::casm {
+
+std::string runtime_library() {
+  return R"ASM(
+; ======================= crs runtime library =======================
+.text
+; Calling convention: args in r1..r3, result in r0, r4..r7 scratch.
+
+; memcpy(r1=dst, r2=src, r3=len) — byte copy, no bounds checking.
+; This is the primitive the vulnerable host uses; the overflow is the
+; caller's fault, exactly as with C's memcpy/strcpy.
+memcpy:
+    beqz r3, memcpy_done
+memcpy_loop:
+    loadb r4, [r2]
+    storeb [r1], r4
+    addi r1, r1, 1
+    addi r2, r2, 1
+    addi r3, r3, -1
+    bnez r3, memcpy_loop
+memcpy_done:
+    ret
+
+; memset(r1=dst, r2=byte, r3=len)
+memset:
+    beqz r3, memset_done
+memset_loop:
+    storeb [r1], r2
+    addi r1, r1, 1
+    addi r3, r3, -1
+    bnez r3, memset_loop
+memset_done:
+    ret
+
+; strlen(r1=str) -> r0
+strlen:
+    movi r0, 0
+strlen_loop:
+    loadb r4, [r1]
+    beqz r4, strlen_done
+    addi r1, r1, 1
+    addi r0, r0, 1
+    jmp strlen_loop
+strlen_done:
+    ret
+
+; print(r1=addr, r2=len): SYS_WRITE to fd 1.
+print:
+    mov r3, r2
+    mov r2, r1
+    movi r1, 1
+    movi r0, 1
+    syscall
+    ret
+
+; exit_(r1=code): SYS_EXIT. Does not return.
+exit_:
+    movi r0, 0
+    syscall
+    ret
+
+; getrandom(r1=addr, r2=len)
+getrandom:
+    movi r0, 3
+    syscall
+    ret
+
+; ---- context-restore helpers -----------------------------------------
+; Modelled on libc's register-restore tails (setcontext/__libc_csu_*):
+; each ends in `pop rN; ret`, the classic ROP gadget shape.
+restore_r0:
+    pop r0
+    ret
+restore_r1:
+    pop r1
+    ret
+restore_r2:
+    pop r2
+    ret
+restore_r3:
+    pop r3
+    ret
+
+; syscall_fn(r0=number, r1..r3=args): the libc syscall() wrapper.
+; Its `syscall; ret` tail is the chain's execve gadget.
+syscall_fn:
+    syscall
+    ret
+
+; ---- stack canary helpers --------------------------------------------
+; canary_check(r4=stored canary copy): compares against __canary and
+; aborts the process on mismatch. Programs that opt in place a `__canary`
+; word in .data, copy it into the frame on entry and call canary_check
+; before returning.
+canary_check:
+    movi r5, __canary
+    load r5, [r5]
+    cmpeq r5, r5, r4
+    beqz r5, canary_fail
+    ret
+canary_fail:
+    movi r0, 4          ; SYS_ABORT
+    syscall
+    ret
+
+; The per-process canary value. The kernel fills this word with a random
+; value when it maps the image (it looks for the `__canary` symbol).
+.data
+.align 8
+__canary:
+    .word 0
+.text
+; ====================== end runtime library ========================
+)ASM";
+}
+
+}  // namespace crs::casm

@@ -1,0 +1,23 @@
+// The simulated "libc": helper routines appended to every program.
+//
+// Besides the obvious utility (memcpy/memset/strlen/print/exit), the
+// library is the ROP gadget donor. The paper notes that "a binary compiled
+// using GCC has various other libraries linked with it, thus providing more
+// gadgets than available only with the host" (§II-C) — register-restore
+// tails and the syscall wrapper below play the role of those libc
+// epilogues. They are genuine, reachable functions; the gadget scanner
+// merely discovers that their tails (`pop rX; ret`, `syscall; ret`) can be
+// chained.
+#pragma once
+
+#include <string>
+
+namespace crs::casm {
+
+/// Assembly text of the runtime library (a `.text` fragment). Append to a
+/// program's source before assembling. Symbols: memcpy, memset, strlen,
+/// print, exit_, getrandom, restore_r0..restore_r3, syscall_fn, and the
+/// canary helpers canary_check / canary_fail (used with a `__canary` word).
+std::string runtime_library();
+
+}  // namespace crs::casm

@@ -1,0 +1,92 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+
+#include "hid/features.hpp"
+#include "support/error.hpp"
+
+namespace crs::core {
+
+double CampaignResult::mean_detection() const {
+  if (attempts.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& a : attempts) s += a.detection_rate;
+  return s / static_cast<double>(attempts.size());
+}
+
+double CampaignResult::min_detection() const {
+  double m = 1.0;
+  for (const auto& a : attempts) m = std::min(m, a.detection_rate);
+  return attempts.empty() ? 0.0 : m;
+}
+
+double CampaignResult::max_detection() const {
+  double m = 0.0;
+  for (const auto& a : attempts) m = std::max(m, a.detection_rate);
+  return m;
+}
+
+double CampaignResult::evasion_fraction() const {
+  if (attempts.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& a : attempts) n += a.evaded ? 1 : 0;
+  return static_cast<double>(n) / static_cast<double>(attempts.size());
+}
+
+CampaignResult run_campaign(const CampaignConfig& config,
+                            const ml::Dataset& benign_train,
+                            const ml::Dataset& attack_train,
+                            const ml::Dataset* benign_holdout) {
+  CRS_ENSURE(config.attempts > 0, "campaign needs at least one attempt");
+
+  hid::HidDetector detector(config.detector);
+  ml::Dataset initial = benign_train;
+  initial.append_all(attack_train);
+  detector.fit(initial);
+
+  perturb::VariantMutator mutator(config.scenario.perturb_params,
+                                  config.seed ^ 0x77);
+
+  CampaignResult result;
+  for (int attempt = 1; attempt <= config.attempts; ++attempt) {
+    ScenarioConfig scenario = config.scenario;
+    scenario.seed = config.seed * 7919 + static_cast<std::uint64_t>(attempt);
+    scenario.perturb_params = mutator.current();
+
+    const ScenarioRun run = run_scenario(scenario);
+
+    AttemptRecord record;
+    record.attempt = attempt;
+    record.params = mutator.current();
+    record.secret_recovered = run.secret_recovered;
+    record.host_ipc = run.host_ipc;
+    record.attack_window_count = run.attack_windows.size();
+    record.detection_rate = detector.detection_rate(run.attack_windows);
+    record.detected = record.detection_rate >= config.detect_threshold;
+    record.evaded = record.detection_rate <= config.evade_threshold;
+    if (benign_holdout != nullptr && benign_holdout->size() > 0) {
+      const auto cm = detector.evaluate(*benign_holdout);
+      record.benign_fpr = cm.fp + cm.tn == 0
+                              ? 0.0
+                              : static_cast<double>(cm.fp) /
+                                    static_cast<double>(cm.fp + cm.tn);
+    }
+
+    if (config.online_hid && !run.attack_windows.empty()) {
+      // Paper §II-E: the online HID retrains on newly profiled traces of
+      // both classes — the attempt's attack-active windows (labelled by
+      // the testbed's ground truth) and the host's own benign windows.
+      ml::Dataset fresh = hid::windows_to_dataset(run.attack_windows, 1);
+      fresh.append_all(hid::windows_to_dataset(run.host_windows, 0));
+      detector.augment_and_refit(fresh);
+    }
+    if (config.dynamic_perturbation && record.detected) {
+      mutator.next();
+      record.mutated_after = true;
+    }
+    result.attempts.push_back(record);
+  }
+  return result;
+}
+
+}  // namespace crs::core

@@ -1,0 +1,75 @@
+// Attack-vs-HID campaign: the experiment behind Figs. 5 and 6.
+//
+// One campaign = one deployed detector facing one attacker over a series
+// of attack attempts:
+//
+//   per attempt:
+//     1. the attacker executes the scenario (standalone Spectre or
+//        ROP-injected CR-Spectre with the current perturbation variant),
+//     2. the HID classifies the run's attack-active windows; the fraction
+//        flagged is the attempt's "accuracy" (the Fig. 5/6 y-axis),
+//     3. online HID only: the defender adds the attempt's attack windows
+//        (labelled by the ground truth a research testbed has) to the
+//        training set and retrains — paper §II-E's online learning,
+//     4. dynamic perturbation only: if the attempt was detected
+//        (accuracy ≥ detect_threshold, paper: 80%), the attacker mutates
+//        the perturbation parameters for the next attempt.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "hid/detector.hpp"
+#include "ml/dataset.hpp"
+#include "perturb/perturb.hpp"
+
+namespace crs::core {
+
+struct CampaignConfig {
+  ScenarioConfig scenario;
+  hid::DetectorConfig detector;
+  bool online_hid = false;
+  /// Mutate the perturbation on detection (CR-Spectre vs online HID).
+  bool dynamic_perturbation = false;
+  int attempts = 10;
+  double detect_threshold = 0.80;  ///< paper: detected when >80%
+  double evade_threshold = 0.55;   ///< paper: evaded when <=55%
+  std::uint64_t seed = 5;
+};
+
+struct AttemptRecord {
+  int attempt = 0;                    ///< 1-based
+  double detection_rate = 0.0;        ///< the figure's "accuracy"
+  /// False-positive rate on the held-out benign set (the defender's cost
+  /// of online adaptation); -1 when no holdout was supplied.
+  double benign_fpr = -1.0;
+  bool detected = false;               ///< ≥ detect_threshold
+  bool evaded = false;                 ///< ≤ evade_threshold
+  bool mutated_after = false;          ///< attacker switched variants
+  perturb::PerturbParams params;       ///< variant used this attempt
+  bool secret_recovered = false;
+  double host_ipc = 0.0;
+  std::size_t attack_window_count = 0;
+};
+
+struct CampaignResult {
+  std::vector<AttemptRecord> attempts;
+
+  double mean_detection() const;
+  double min_detection() const;
+  double max_detection() const;
+  /// Fraction of attempts at or under the evade threshold.
+  double evasion_fraction() const;
+};
+
+/// Runs a campaign. `benign_train`/`attack_train` are universe-feature
+/// datasets (from core::build_*_corpus) used for the detector's initial
+/// training. When `benign_holdout` is non-null, every attempt also records
+/// the detector's false-positive rate on it.
+CampaignResult run_campaign(const CampaignConfig& config,
+                            const ml::Dataset& benign_train,
+                            const ml::Dataset& attack_train,
+                            const ml::Dataset* benign_holdout = nullptr);
+
+}  // namespace crs::core

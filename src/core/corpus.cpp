@@ -1,0 +1,83 @@
+#include "core/corpus.hpp"
+
+#include "core/scenario.hpp"
+#include "hid/features.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workloads/workloads.hpp"
+
+namespace crs::core {
+
+ml::Dataset build_benign_corpus(const CorpusConfig& config) {
+  std::vector<std::string> apps = config.benign_apps;
+  if (apps.empty()) {
+    for (const auto& w : workloads::host_catalog()) apps.push_back(w.name);
+    for (const auto& w : workloads::benign_pool_catalog())
+      apps.push_back(w.name);
+  }
+  CRS_ENSURE(!apps.empty(), "benign corpus needs at least one app");
+
+  Rng rng(config.seed);
+  ml::Dataset out;
+  std::size_t app_index = 0;
+  int guard = 0;
+  while (out.size() < config.windows_per_class) {
+    CRS_ENSURE(++guard < 10'000, "benign corpus failed to accumulate");
+    const std::string& name = apps[app_index];
+    app_index = (app_index + 1) % apps.size();
+
+    workloads::WorkloadOptions wopt;
+    wopt.scale = config.host_scale +
+                 rng.next_below(std::max<std::uint64_t>(config.host_scale / 4, 1));
+    hid::ProfilerConfig prof = config.profiler;
+    prof.window_cycles +=
+        rng.next_below(std::max<std::uint64_t>(prof.window_cycles / 10, 1));
+    prof.noise_seed = rng.next_u64();
+
+    sim::Machine machine;
+    sim::KernelConfig kcfg;
+    kcfg.seed = rng.next_u64();
+    sim::Kernel kernel(machine, kcfg);
+    kernel.register_binary("/bin/app", workloads::build_workload(name, wopt));
+    const auto profile = hid::profile_run_strings(
+        kernel, "/bin/app",
+        {name, "benign-" + std::to_string(rng.next_below(1000))}, prof);
+    CRS_ENSURE(profile.stop == sim::StopReason::kHalted,
+               "benign run of '" + name + "' did not halt");
+    for (const auto& w : profile.windows) {
+      out.append(hid::feature_vector(w.delta), 0);
+      if (out.size() >= config.windows_per_class) break;
+    }
+  }
+  return out;
+}
+
+ml::Dataset build_attack_corpus(const CorpusConfig& config) {
+  CRS_ENSURE(!config.variants.empty(), "attack corpus needs variants");
+  Rng rng(config.seed ^ 0xA77ACCull);
+  ml::Dataset out;
+  std::size_t variant_index = 0;
+  int guard = 0;
+  while (out.size() < config.windows_per_class) {
+    CRS_ENSURE(++guard < 10'000, "attack corpus failed to accumulate");
+    ScenarioConfig scenario;
+    scenario.secret = config.secret;
+    scenario.variant = config.variants[variant_index];
+    variant_index = (variant_index + 1) % config.variants.size();
+    scenario.rop_injected = false;
+    scenario.perturb = false;
+    scenario.seed = rng.next_u64();
+    scenario.profiler = config.profiler;
+
+    const ScenarioRun run = run_scenario(scenario);
+    CRS_ENSURE(run.secret_recovered,
+               "standalone Spectre failed during corpus construction");
+    for (const auto& w : run.attack_windows) {
+      out.append(hid::feature_vector(w.delta), 1);
+      if (out.size() >= config.windows_per_class) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace crs::core

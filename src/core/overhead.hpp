@@ -1,0 +1,51 @@
+// Table I: IPC overhead of CR-Spectre on the host application.
+//
+// The paper reports the host application's IPC in three settings: original
+// (no attack), CR-Spectre under an offline-type HID (one static
+// perturbation variant), and CR-Spectre under an online-type HID (dynamic
+// variants, which disperse more and therefore run longer). Because the
+// injected attack executes under the host's identity, the measured IPC is
+// the *whole process's*: the overhead is the attack's (low-IPC) execution
+// diluted by a long host run, plus cache/predictor pollution of the host's
+// own work. Hosts are sized so the attack is a ~1-3% sliver — the paper's
+// regime, where overhead lands around a percent. Values are averaged over
+// repeated jittered runs (the paper averages 100 iterations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace crs::core {
+
+struct OverheadRow {
+  std::string label;  ///< e.g. "Bitcount 50M"
+  std::string host;
+  std::uint64_t scale = 0;
+  double original_ipc = 0.0;
+  double offline_ipc = 0.0;  ///< CR-Spectre, static perturbation
+  double online_ipc = 0.0;   ///< CR-Spectre, dynamic perturbation
+  double offline_overhead_pct = 0.0;
+  double online_overhead_pct = 0.0;
+};
+
+struct OverheadConfig {
+  int repeats = 3;
+  std::uint64_t seed = 17;
+  /// Short secret: one burglary, not a bulk exfiltration.
+  std::string secret = "KEY0";
+  hid::ProfilerConfig profiler;
+};
+
+/// Measures one Table I row.
+OverheadRow measure_overhead(const std::string& label, const std::string& host,
+                             std::uint64_t scale,
+                             const OverheadConfig& config = {});
+
+/// The paper's five rows: Math, Bitcount 50M, Bitcount 100M, SHA 1, SHA 2
+/// (simulation-scaled; see EXPERIMENTS.md for the scale mapping).
+std::vector<OverheadRow> table_one(const OverheadConfig& config = {});
+
+}  // namespace crs::core

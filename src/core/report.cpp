@@ -1,0 +1,55 @@
+#include "core/report.hpp"
+
+#include <fstream>
+
+#include "hid/features.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace crs::core {
+
+std::string windows_to_csv(const std::vector<hid::WindowSample>& windows) {
+  std::string out;
+  for (std::size_t j = 0; j < hid::feature_universe_size(); ++j) {
+    out += hid::feature_name(j);
+    out += ',';
+  }
+  out += "injected\n";
+  for (const auto& w : windows) {
+    const auto f = hid::feature_vector(w.delta);
+    for (const double v : f) {
+      out += fixed(v, 4);
+      out += ',';
+    }
+    out += w.injected ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+std::string campaign_to_csv(const CampaignResult& result) {
+  std::string out =
+      "attempt,detection_rate,detected,evaded,mutated_after,"
+      "secret_recovered,host_ipc,attack_windows,variant\n";
+  for (const auto& a : result.attempts) {
+    out += std::to_string(a.attempt) + ',';
+    out += fixed(a.detection_rate, 4) + ',';
+    out += std::to_string(a.detected ? 1 : 0) + ',';
+    out += std::to_string(a.evaded ? 1 : 0) + ',';
+    out += std::to_string(a.mutated_after ? 1 : 0) + ',';
+    out += std::to_string(a.secret_recovered ? 1 : 0) + ',';
+    out += fixed(a.host_ipc, 4) + ',';
+    out += std::to_string(a.attack_window_count) + ',';
+    out += '"' + a.params.describe() + "\"\n";
+  }
+  return out;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary);
+  CRS_ENSURE(f.good(), "cannot open '" + path + "' for writing");
+  f << content;
+  CRS_ENSURE(f.good(), "write to '" + path + "' failed");
+}
+
+}  // namespace crs::core

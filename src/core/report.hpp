@@ -1,0 +1,24 @@
+// Result export: CSV serialisation of profiled windows and campaign
+// records, for external analysis/plotting of the reproduced figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "hid/profiler.hpp"
+
+namespace crs::core {
+
+/// One row per window: every universe feature (named header) plus the
+/// ground-truth `injected` flag. Measured (noisy) values.
+std::string windows_to_csv(const std::vector<hid::WindowSample>& windows);
+
+/// One row per attempt: attempt, detection_rate, detected, evaded,
+/// mutated_after, secret_recovered, host_ipc, attack_windows, variant.
+std::string campaign_to_csv(const CampaignResult& result);
+
+/// Writes `content` to `path`; throws crs::Error on I/O failure.
+void write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace crs::core

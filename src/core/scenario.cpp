@@ -1,0 +1,119 @@
+#include "core/scenario.hpp"
+
+#include "rop/plan.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace crs::core {
+
+namespace {
+
+constexpr const char* kHostPath = "/bin/host";
+constexpr const char* kAttackPath = "/bin/cr_spectre";
+
+}  // namespace
+
+attack::AttackConfig make_attack_config(const ScenarioConfig& config,
+                                        std::uint64_t secret_address) {
+  attack::AttackConfig acfg;
+  acfg.variant = config.variant;
+  acfg.secret_length = static_cast<std::uint32_t>(config.secret.size());
+  if (config.rop_injected) {
+    acfg.target_secret_address = secret_address;
+  } else {
+    acfg.embed_secret = config.secret;
+  }
+  if (config.variant == attack::SpectreVariant::kStride) {
+    acfg.probe_stride = 192;
+  }
+  acfg.perturb = config.perturb;
+  acfg.perturb_params = config.perturb_params;
+  return acfg;
+}
+
+ScenarioRun run_scenario(const ScenarioConfig& config) {
+  CRS_ENSURE(!config.secret.empty(), "scenario needs a secret");
+  Rng rng(config.seed);
+
+  // Per-attempt jitter: work amount and sampling phase vary between runs,
+  // like back-to-back measurements on real hardware.
+  workloads::WorkloadOptions wopt;
+  wopt.scale = config.host_scale +
+               rng.next_below(std::max<std::uint64_t>(config.host_scale / 8, 1));
+  wopt.canary = config.canary;
+  wopt.secret = config.secret;
+
+  hid::ProfilerConfig prof = config.profiler;
+  prof.window_cycles +=
+      rng.next_below(std::max<std::uint64_t>(prof.window_cycles / 10, 1));
+  prof.noise_seed = rng.next_u64();
+
+  ScenarioRun out;
+
+  if (!config.rop_injected) {
+    // Standalone ("traditional") Spectre: the attack binary runs directly.
+    const auto acfg = make_attack_config(config, 0);
+    sim::Machine machine;
+    sim::KernelConfig kcfg;
+    kcfg.seed = config.seed ^ 0xABCD;
+    sim::Kernel kernel(machine, kcfg);
+    kernel.register_binary(kAttackPath, attack::build_attack_binary(acfg));
+    out.profile = hid::profile_run_strings(kernel, kAttackPath,
+                                           {"cr_spectre"}, prof);
+    out.attack_windows = out.profile.windows;  // the whole run is attack
+    out.attack_launched = true;
+    out.recovered = out.profile.output;
+    out.secret_recovered = out.recovered == config.secret;
+    out.host_ipc = 0.0;
+    return out;
+  }
+
+  // --- CR-Spectre: ROP-injected into the host ---
+  const sim::Program host = workloads::build_workload(config.host, wopt);
+  const auto acfg = make_attack_config(config, host.symbol("host_secret"));
+  const sim::Program attack_bin = attack::build_attack_binary(acfg);
+
+  // Adversary offline phase (gadgets + recon + payload), against the
+  // no-ASLR layout the attacker assumes.
+  rop::ReconSpec rspec;
+  rspec.path = kHostPath;
+  rspec.benign_args = {config.host, "recon-benign-input"};
+  const rop::InjectionPlan plan =
+      rop::plan_injection(host, rspec, kAttackPath);
+
+  sim::Machine machine;
+  sim::KernelConfig kcfg;
+  kcfg.aslr = config.aslr;
+  kcfg.seed = config.seed ^ 0x5A5A;
+  sim::Kernel kernel(machine, kcfg);
+  kernel.register_binary(kHostPath, host);
+  kernel.register_binary(kAttackPath, attack_bin);
+
+  std::vector<std::vector<std::uint8_t>> args;
+  args.emplace_back(config.host.begin(), config.host.end());
+  args.push_back(plan.payload.bytes);
+  out.profile = hid::profile_run(kernel, kHostPath, args, prof);
+
+  for (const auto& w : out.profile.windows) {
+    (w.injected ? out.attack_windows : out.host_windows).push_back(w);
+  }
+  out.attack_launched = kernel.execve_count() > 0;
+  out.recovered = out.profile.output;
+  out.secret_recovered = out.recovered == config.secret;
+
+  // IPC from the noiseless deltas: Table I's ~1% contrasts would otherwise
+  // drown in measurement noise.
+  std::uint64_t host_instr = 0, host_cycles = 0;
+  for (const auto& w : out.host_windows) {
+    host_instr +=
+        w.true_delta[static_cast<std::size_t>(sim::Event::kInstructions)];
+    host_cycles += w.true_delta[static_cast<std::size_t>(sim::Event::kCycles)];
+  }
+  out.host_ipc = host_cycles == 0
+                     ? 0.0
+                     : static_cast<double>(host_instr) /
+                           static_cast<double>(host_cycles);
+  return out;
+}
+
+}  // namespace crs::core

@@ -1,0 +1,70 @@
+// One attack execution ("attempt") end to end.
+//
+// A scenario describes everything about a single run: the host and its
+// work scale, the planted secret, the Spectre variant, whether the attack
+// launches standalone (the paper's "traditional Spectre", Figs 5a/6a) or is
+// ROP-injected into the host (CR-Spectre, Figs 5b/6b), the perturbation
+// variant, active defenses, and a seed that jitters the measurement (host
+// input, window phase) the way real back-to-back runs differ.
+//
+// run_scenario performs the whole pipeline: build binaries, plan the
+// injection (gadget scan + frame recon + payload), execute under the
+// windowed profiler, split windows by ground truth, and verify whether the
+// secret was actually exfiltrated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/spectre.hpp"
+#include "hid/profiler.hpp"
+#include "perturb/perturb.hpp"
+#include "workloads/workloads.hpp"
+
+namespace crs::core {
+
+struct ScenarioConfig {
+  std::string host = "basicmath";
+  /// Sized so the host's own work is comparable to the injected attack's
+  /// duration (the realistic cloak: the whitelisted process spends most of
+  /// its time doing its real job).
+  std::uint64_t host_scale = 20000;
+  std::string secret = "CRSPECTRE-SECRET";  // 16 bytes
+
+  attack::SpectreVariant variant = attack::SpectreVariant::kPht;
+  bool rop_injected = true;   ///< false = standalone attack binary
+  bool perturb = false;
+  perturb::PerturbParams perturb_params;
+
+  bool canary = false;
+  bool aslr = false;
+
+  /// Jitters host input length, window phase and host scale so repeated
+  /// attempts produce naturally varying traces (paper §III-B1).
+  std::uint64_t seed = 1;
+
+  hid::ProfilerConfig profiler;
+};
+
+struct ScenarioRun {
+  hid::ProfileResult profile;
+  /// Ground-truth split of profile.windows.
+  std::vector<hid::WindowSample> attack_windows;
+  std::vector<hid::WindowSample> host_windows;
+
+  bool attack_launched = false;   ///< execve fired (or standalone ran)
+  bool secret_recovered = false;  ///< exfiltrated output == secret
+  std::string recovered;
+
+  /// IPC over the host's own (non-injected) windows — the Table I metric.
+  double host_ipc = 0.0;
+};
+
+ScenarioRun run_scenario(const ScenarioConfig& config);
+
+/// The attack binary a scenario would use (exposed for inspection/tests).
+attack::AttackConfig make_attack_config(const ScenarioConfig& config,
+                                        std::uint64_t secret_address);
+
+}  // namespace crs::core

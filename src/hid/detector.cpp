@@ -1,0 +1,112 @@
+#include "hid/detector.hpp"
+
+#include <algorithm>
+
+#include "ml/mlp.hpp"
+#include "support/error.hpp"
+
+namespace crs::hid {
+
+HidDetector::HidDetector(const DetectorConfig& config) : config_(config) {
+  CRS_ENSURE(config_.feature_count > 0 || !config_.features.empty(),
+             "detector needs at least one feature");
+}
+
+std::vector<double> HidDetector::project(
+    std::span<const double> universe_row) const {
+  std::vector<double> out(selected_.size());
+  for (std::size_t j = 0; j < selected_.size(); ++j) {
+    CRS_ENSURE(selected_[j] < universe_row.size(),
+               "feature index out of range");
+    out[j] = universe_row[selected_[j]];
+  }
+  return out;
+}
+
+void HidDetector::fit(const ml::Dataset& universe) {
+  CRS_ENSURE(universe.size() > 0, "cannot fit on an empty dataset");
+  training_ = universe;
+  refit();
+}
+
+void HidDetector::augment_and_refit(const ml::Dataset& new_universe_rows) {
+  CRS_ENSURE(fitted_, "augment_and_refit before fit");
+  const std::size_t history_size = training_.size();
+  training_.append_all(new_universe_rows);
+  if (config_.online_mode == OnlineMode::kFullRetrain) {
+    refit();
+    return;
+  }
+  // Incremental: keep the feature selection and scaler frozen (boundary
+  // continuity) and continue training on the new batch mixed with a replay
+  // sample of the history — the standard guard against batch imbalance
+  // collapsing the model.
+  ml::Dataset batch = new_universe_rows;
+  const std::size_t replay = std::min(history_size, 2 * batch.size());
+  for (std::size_t k = 0; k < replay; ++k) {
+    const std::size_t i = replay_rng_.next_below(history_size);
+    batch.append(training_.x.row(i), training_.y[i]);
+  }
+  const ml::Dataset projected = ml::select_features(batch, selected_);
+  const ml::Matrix scaled = scaler_.transform(projected.x);
+  model_->partial_fit(scaled, projected.y);
+}
+
+void HidDetector::refit() {
+  if (!config_.features.empty()) {
+    selected_ = config_.features;
+  } else {
+    // Fisher-rank within the PMU-visible candidate pool.
+    const std::vector<std::size_t> pool = config_.candidate_features.empty()
+                                              ? detector_visible_features()
+                                              : config_.candidate_features;
+    const auto scores = ml::fisher_scores(training_);
+    std::vector<std::size_t> ranked = pool;
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return scores[a] > scores[b];
+                     });
+    ranked.resize(std::min(config_.feature_count, ranked.size()));
+    selected_ = ranked;
+  }
+
+  const ml::Dataset projected = ml::select_features(training_, selected_);
+  scaler_ = ml::StandardScaler();
+  scaler_.fit(projected.x);
+  const ml::Matrix scaled = scaler_.transform(projected.x);
+
+  model_ = ml::make_classifier(config_.classifier, config_.seed);
+  model_->fit(scaled, projected.y);
+  fitted_ = true;
+}
+
+int HidDetector::predict(const sim::PmuSnapshot& window_delta) const {
+  CRS_ENSURE(fitted_, "predict before fit");
+  const auto universe_row = feature_vector(window_delta);
+  const auto scaled = scaler_.transform(project(universe_row));
+  return model_->predict(scaled);
+}
+
+double HidDetector::detection_rate(
+    const std::vector<WindowSample>& windows) const {
+  if (windows.empty()) return 0.0;
+  std::size_t detected = 0;
+  for (const auto& w : windows) {
+    detected += predict(w.delta) == 1 ? 1 : 0;
+  }
+  return static_cast<double>(detected) / static_cast<double>(windows.size());
+}
+
+ml::ConfusionMatrix HidDetector::evaluate(
+    const ml::Dataset& universe_test) const {
+  CRS_ENSURE(fitted_, "evaluate before fit");
+  std::vector<int> predicted(universe_test.size());
+  for (std::size_t i = 0; i < universe_test.size(); ++i) {
+    const auto scaled =
+        scaler_.transform(project(universe_test.x.row(i)));
+    predicted[i] = model_->predict(scaled);
+  }
+  return ml::confusion(universe_test.y, predicted);
+}
+
+}  // namespace crs::hid

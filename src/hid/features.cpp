@@ -1,0 +1,88 @@
+#include "hid/features.hpp"
+
+#include "support/error.hpp"
+
+namespace crs::hid {
+
+namespace {
+
+constexpr std::size_t kDerivedCount = 2;  // total cache misses / accesses
+
+std::size_t ev(sim::Event e) { return static_cast<std::size_t>(e); }
+
+}  // namespace
+
+std::size_t feature_universe_size() {
+  return sim::kEventCount + kDerivedCount;
+}
+
+std::string feature_name(std::size_t index) {
+  if (index < sim::kEventCount) {
+    return std::string(sim::event_name(static_cast<sim::Event>(index)));
+  }
+  const std::size_t d = index - sim::kEventCount;
+  CRS_ENSURE(d < kDerivedCount, "feature index out of range");
+  return d == 0 ? "total_cache_misses" : "total_cache_accesses";
+}
+
+std::vector<double> feature_vector(const sim::PmuSnapshot& delta) {
+  const double instructions = std::max<double>(
+      static_cast<double>(delta[ev(sim::Event::kInstructions)]), 1.0);
+  const double per_kilo = 1000.0 / instructions;
+
+  std::vector<double> out(feature_universe_size(), 0.0);
+  for (std::size_t i = 0; i < sim::kEventCount; ++i) {
+    out[i] = static_cast<double>(delta[i]) * per_kilo;
+  }
+  // Instructions would be constant (1000) after normalisation; keep the raw
+  // count so window-level work intensity remains visible.
+  out[ev(sim::Event::kInstructions)] = instructions;
+  // Cycles per kilo-instruction = 1000 * CPI.
+  out[ev(sim::Event::kCycles)] =
+      static_cast<double>(delta[ev(sim::Event::kCycles)]) * per_kilo;
+  out[sim::kEventCount + 0] =
+      static_cast<double>(sim::derived_total_cache_misses(delta)) * per_kilo;
+  out[sim::kEventCount + 1] =
+      static_cast<double>(sim::derived_total_cache_accesses(delta)) * per_kilo;
+  return out;
+}
+
+std::vector<std::size_t> detector_visible_features() {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < feature_universe_size(); ++i) {
+    switch (static_cast<sim::Event>(i)) {
+      case sim::Event::kClflushes:
+      case sim::Event::kMfences:
+      case sim::Event::kSpecInstructions:
+      case sim::Event::kSpecLoads:
+      case sim::Event::kRsbMispredicts:
+      case sim::Event::kSyscalls:
+        continue;  // not observable by a PAPI-style profiler
+      default:
+        out.push_back(i);  // derived aggregates (>= kEventCount) included
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> paper_feature_indices() {
+  return {
+      sim::kEventCount + 0,                    // total cache misses
+      sim::kEventCount + 1,                    // total cache accesses
+      ev(sim::Event::kBranches),               // total branch instructions
+      ev(sim::Event::kBranchMispredicts),      // branch mispredictions
+      ev(sim::Event::kInstructions),           // total instructions
+      ev(sim::Event::kCycles),                 // total cycles
+  };
+}
+
+ml::Dataset windows_to_dataset(const std::vector<WindowSample>& windows,
+                               int label) {
+  ml::Dataset out;
+  for (const auto& w : windows) {
+    out.append(feature_vector(w.delta), label);
+  }
+  return out;
+}
+
+}  // namespace crs::hid

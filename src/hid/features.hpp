@@ -1,0 +1,46 @@
+// Feature extraction from PMU window samples.
+//
+// The full feature universe is every modelled PMU event plus the paper's
+// two aggregates ("total cache misses", "total cache accesses"). §III-A
+// names six canonical features; Fig. 4 sweeps the number of simultaneously
+// counted events (1/2/4/8/16), which we reproduce with Fisher-score
+// ranking over the universe. Features are normalised per kilo-instruction
+// so window-length effects cancel.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hid/profiler.hpp"
+#include "ml/dataset.hpp"
+
+namespace crs::hid {
+
+/// Number of features in the universe (PMU events + derived aggregates).
+std::size_t feature_universe_size();
+
+/// Name of feature `index` (event name or "total_cache_*").
+std::string feature_name(std::size_t index);
+
+/// Full feature vector for one window (rates per 1000 instructions; the
+/// cycles entry becomes CPI so the detector sees timing too).
+std::vector<double> feature_vector(const sim::PmuSnapshot& delta);
+
+/// Indices of the paper's six §III-A features: total cache misses, total
+/// cache accesses, branches, branch mispredictions, instructions, cycles.
+std::vector<std::size_t> paper_feature_indices();
+
+/// The subset of the universe a real PMU/PAPI deployment can count: the
+/// simulator's forensic-only counters (clflushes, fences, wrong-path
+/// instruction/load counts, RSB mispredicts, syscalls) are excluded. The
+/// detector selects its runtime features from this pool; the excluded
+/// counters remain available to countermeasure ablations.
+std::vector<std::size_t> detector_visible_features();
+
+/// Builds a labelled dataset from windows: label 1 when `attack` (or when
+/// the window's ground-truth `injected` flag is used by the caller).
+ml::Dataset windows_to_dataset(const std::vector<WindowSample>& windows,
+                               int label);
+
+}  // namespace crs::hid

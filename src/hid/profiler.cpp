@@ -1,0 +1,150 @@
+#include "hid/profiler.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace crs::hid {
+
+namespace {
+
+/// Mean background events injected per 1000 window cycles — a lightly
+/// loaded system's daemons, timer interrupts and kernel threads as seen by
+/// per-process counter attribution.
+double background_rate(sim::Event e) {
+  switch (e) {
+    case sim::Event::kInstructions: return 25.0;
+    case sim::Event::kAluOps: return 12.0;
+    case sim::Event::kLoads: return 6.0;
+    case sim::Event::kStores: return 3.0;
+    case sim::Event::kL1dAccesses: return 9.0;
+    case sim::Event::kL1dMisses: return 0.5;
+    case sim::Event::kL2Accesses: return 0.6;
+    case sim::Event::kL2Misses: return 0.15;
+    case sim::Event::kL1iAccesses: return 25.0;
+    case sim::Event::kL1iMisses: return 0.4;
+    case sim::Event::kBranches: return 5.0;
+    case sim::Event::kTakenBranches: return 2.5;
+    case sim::Event::kBranchMispredicts: return 0.4;
+    case sim::Event::kIndirectJumps: return 0.2;
+    case sim::Event::kCalls: return 0.6;
+    case sim::Event::kReturns: return 0.6;
+    case sim::Event::kStackOps: return 1.2;
+    case sim::Event::kSpecInstructions: return 2.0;
+    case sim::Event::kSpecLoads: return 0.4;
+    case sim::Event::kRsbMispredicts: return 0.03;
+    case sim::Event::kSyscalls: return 0.05;
+    case sim::Event::kMfences: return 0.01;
+    default: return 0.0;  // cycles (wall time) and clflushes stay clean
+  }
+}
+
+sim::PmuSnapshot add_measurement_noise(const sim::PmuSnapshot& delta,
+                                       const ProfilerConfig& config,
+                                       Rng& rng) {
+  if (config.noise_sigma <= 0.0 && config.background_intensity <= 0.0) {
+    return delta;
+  }
+  const double kilocycles =
+      static_cast<double>(delta[static_cast<std::size_t>(
+          sim::Event::kCycles)]) / 1000.0;
+  sim::PmuSnapshot out{};
+  for (std::size_t i = 0; i < sim::kEventCount; ++i) {
+    double v = static_cast<double>(delta[i]);
+    if (config.noise_sigma > 0.0) {
+      v *= std::max(0.0, 1.0 + rng.next_gaussian(0.0, config.noise_sigma));
+    }
+    if (config.background_intensity > 0.0) {
+      const double lambda = config.background_intensity * kilocycles *
+                            background_rate(static_cast<sim::Event>(i));
+      if (lambda > 0.0) {
+        v += std::max(0.0, rng.next_gaussian(lambda, 0.5 * lambda));
+      }
+    }
+    out[i] = static_cast<std::uint64_t>(std::llround(std::max(0.0, v)));
+  }
+  return out;
+}
+
+}  // namespace
+
+double ProfileResult::ipc() const {
+  return cycles == 0 ? 0.0
+                     : static_cast<double>(instructions) /
+                           static_cast<double>(cycles);
+}
+
+std::size_t ProfileResult::injected_window_count() const {
+  std::size_t n = 0;
+  for (const auto& w : windows) n += w.injected ? 1 : 0;
+  return n;
+}
+
+ProfileResult profile_run(sim::Kernel& kernel, const std::string& path,
+                          const std::vector<std::vector<std::uint8_t>>& args,
+                          const ProfilerConfig& config) {
+  CRS_ENSURE(config.window_cycles > 0, "window_cycles must be positive");
+  kernel.start(path, args);
+
+  sim::Machine& machine = kernel.machine();
+  ProfileResult out;
+  const std::uint64_t start_cycle = machine.cpu().cycle();
+  const std::uint64_t start_instr = machine.cpu().retired();
+  sim::PmuSnapshot prev = machine.pmu().snapshot();
+  int prev_execves = kernel.execve_count();
+  bool was_injected = kernel.in_injected_binary();
+  Rng noise_rng(config.noise_seed);
+
+  for (;;) {
+    const std::uint64_t target = machine.cpu().cycle() + config.window_cycles;
+    const auto reason =
+        kernel.run_until_cycle(target, config.max_instructions);
+    const sim::PmuSnapshot now = machine.pmu().snapshot();
+
+    WindowSample sample;
+    sample.true_delta = sim::delta(prev, now);
+    sample.delta =
+        add_measurement_noise(sample.true_delta, config, noise_rng);
+    // The window saw attack activity if injected code is running at either
+    // edge or an execve fired inside it.
+    const bool now_injected = kernel.in_injected_binary();
+    sample.injected = was_injected || now_injected ||
+                      kernel.execve_count() != prev_execves;
+    prev = now;
+    prev_execves = kernel.execve_count();
+    was_injected = now_injected;
+
+    // Skip empty trailing windows (program already halted).
+    if (sample.true_delta[static_cast<std::size_t>(sim::Event::kCycles)] > 0 ||
+        sample.true_delta[static_cast<std::size_t>(
+            sim::Event::kInstructions)] > 0) {
+      out.windows.push_back(sample);
+    }
+
+    if (reason != sim::StopReason::kCycleLimit) {
+      out.stop = reason;
+      break;
+    }
+    if (out.windows.size() >= config.max_windows) {
+      out.stop = sim::StopReason::kCycleLimit;
+      break;
+    }
+  }
+
+  out.output = kernel.output_string();
+  out.cycles = machine.cpu().cycle() - start_cycle;
+  out.instructions = machine.cpu().retired() - start_instr;
+  return out;
+}
+
+ProfileResult profile_run_strings(sim::Kernel& kernel, const std::string& path,
+                                  const std::vector<std::string>& args,
+                                  const ProfilerConfig& config) {
+  std::vector<std::vector<std::uint8_t>> raw;
+  raw.reserve(args.size());
+  for (const auto& a : args) raw.emplace_back(a.begin(), a.end());
+  return profile_run(kernel, path, raw, config);
+}
+
+}  // namespace crs::hid

@@ -1,0 +1,253 @@
+#include "isa/isa.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace crs::isa {
+
+namespace {
+
+struct OpInfo {
+  Opcode op;
+  std::string_view name;
+  OpClass cls;
+  bool reads_rs1;
+  bool reads_rs2;
+  bool writes_rd;
+};
+
+// Keep in Opcode order; validated by op_info().
+constexpr OpInfo kOpTable[] = {
+    {Opcode::kNop, "nop", OpClass::kNop, false, false, false},
+    {Opcode::kHalt, "halt", OpClass::kHalt, false, false, false},
+    {Opcode::kMovImm, "movi", OpClass::kAlu, false, false, true},
+    {Opcode::kMov, "mov", OpClass::kAlu, true, false, true},
+    {Opcode::kAdd, "add", OpClass::kAlu, true, true, true},
+    {Opcode::kSub, "sub", OpClass::kAlu, true, true, true},
+    {Opcode::kMul, "mul", OpClass::kAlu, true, true, true},
+    {Opcode::kDivu, "divu", OpClass::kAlu, true, true, true},
+    {Opcode::kRemu, "remu", OpClass::kAlu, true, true, true},
+    {Opcode::kAnd, "and", OpClass::kAlu, true, true, true},
+    {Opcode::kOr, "or", OpClass::kAlu, true, true, true},
+    {Opcode::kXor, "xor", OpClass::kAlu, true, true, true},
+    {Opcode::kShl, "shl", OpClass::kAlu, true, true, true},
+    {Opcode::kShr, "shr", OpClass::kAlu, true, true, true},
+    {Opcode::kSar, "sar", OpClass::kAlu, true, true, true},
+    {Opcode::kAddImm, "addi", OpClass::kAlu, true, false, true},
+    {Opcode::kMulImm, "muli", OpClass::kAlu, true, false, true},
+    {Opcode::kAndImm, "andi", OpClass::kAlu, true, false, true},
+    {Opcode::kOrImm, "ori", OpClass::kAlu, true, false, true},
+    {Opcode::kXorImm, "xori", OpClass::kAlu, true, false, true},
+    {Opcode::kShlImm, "shli", OpClass::kAlu, true, false, true},
+    {Opcode::kShrImm, "shri", OpClass::kAlu, true, false, true},
+    {Opcode::kCmpLt, "cmplt", OpClass::kAlu, true, true, true},
+    {Opcode::kCmpLtu, "cmpltu", OpClass::kAlu, true, true, true},
+    {Opcode::kCmpEq, "cmpeq", OpClass::kAlu, true, true, true},
+    {Opcode::kCmpNe, "cmpne", OpClass::kAlu, true, true, true},
+    {Opcode::kLoad, "load", OpClass::kLoad, true, false, true},
+    {Opcode::kLoadB, "loadb", OpClass::kLoad, true, false, true},
+    {Opcode::kStore, "store", OpClass::kStore, true, true, false},
+    {Opcode::kStoreB, "storeb", OpClass::kStore, true, true, false},
+    {Opcode::kBeqz, "beqz", OpClass::kCondBranch, true, false, false},
+    {Opcode::kBnez, "bnez", OpClass::kCondBranch, true, false, false},
+    {Opcode::kJmp, "jmp", OpClass::kJump, false, false, false},
+    {Opcode::kJmpReg, "jmpr", OpClass::kIndirectJump, true, false, false},
+    {Opcode::kCall, "call", OpClass::kCall, false, false, false},
+    {Opcode::kCallReg, "callr", OpClass::kIndirectCall, true, false, false},
+    {Opcode::kRet, "ret", OpClass::kRet, false, false, false},
+    {Opcode::kPush, "push", OpClass::kPush, true, false, false},
+    {Opcode::kPop, "pop", OpClass::kPop, false, false, true},
+    {Opcode::kClflush, "clflush", OpClass::kFlush, true, false, false},
+    {Opcode::kMfence, "mfence", OpClass::kFence, false, false, false},
+    {Opcode::kRdCycle, "rdcycle", OpClass::kRdCycle, false, false, true},
+    {Opcode::kSyscall, "syscall", OpClass::kSyscall, false, false, false},
+};
+
+static_assert(std::size(kOpTable) ==
+                  static_cast<std::size_t>(Opcode::kOpcodeCount),
+              "kOpTable must cover every opcode");
+
+const OpInfo& op_info(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  CRS_ENSURE(idx < std::size(kOpTable), "opcode out of range");
+  CRS_ENSURE(kOpTable[idx].op == op, "kOpTable out of order");
+  return kOpTable[idx];
+}
+
+}  // namespace
+
+std::array<std::uint8_t, kInstructionSize> encode(const Instruction& instr) {
+  CRS_ENSURE(static_cast<std::uint8_t>(instr.op) <
+                 static_cast<std::uint8_t>(Opcode::kOpcodeCount),
+             "encode: illegal opcode");
+  CRS_ENSURE(instr.rd < kNumRegisters && instr.rs1 < kNumRegisters &&
+                 instr.rs2 < kNumRegisters,
+             "encode: register index out of range");
+  std::array<std::uint8_t, kInstructionSize> out{};
+  out[0] = static_cast<std::uint8_t>(instr.op);
+  out[1] = instr.rd;
+  out[2] = instr.rs1;
+  out[3] = instr.rs2;
+  const auto imm = static_cast<std::uint32_t>(instr.imm);
+  out[4] = static_cast<std::uint8_t>(imm & 0xff);
+  out[5] = static_cast<std::uint8_t>((imm >> 8) & 0xff);
+  out[6] = static_cast<std::uint8_t>((imm >> 16) & 0xff);
+  out[7] = static_cast<std::uint8_t>((imm >> 24) & 0xff);
+  return out;
+}
+
+std::optional<Instruction> decode(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kInstructionSize) return std::nullopt;
+  if (bytes[0] >= static_cast<std::uint8_t>(Opcode::kOpcodeCount))
+    return std::nullopt;
+  if (bytes[1] >= kNumRegisters || bytes[2] >= kNumRegisters ||
+      bytes[3] >= kNumRegisters)
+    return std::nullopt;
+  Instruction instr;
+  instr.op = static_cast<Opcode>(bytes[0]);
+  instr.rd = bytes[1];
+  instr.rs1 = bytes[2];
+  instr.rs2 = bytes[3];
+  const std::uint32_t imm = static_cast<std::uint32_t>(bytes[4]) |
+                            (static_cast<std::uint32_t>(bytes[5]) << 8) |
+                            (static_cast<std::uint32_t>(bytes[6]) << 16) |
+                            (static_cast<std::uint32_t>(bytes[7]) << 24);
+  instr.imm = static_cast<std::int32_t>(imm);
+  return instr;
+}
+
+OpClass op_class(Opcode op) { return op_info(op).cls; }
+
+std::string_view mnemonic(Opcode op) { return op_info(op).name; }
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view name) {
+  for (const auto& info : kOpTable) {
+    if (info.name == name) return info.op;
+  }
+  return std::nullopt;
+}
+
+std::string_view register_name(int reg) {
+  static constexpr std::string_view kNames[] = {
+      "r0", "r1", "r2",  "r3",  "r4",  "r5",  "r6",  "r7",
+      "r8", "r9", "r10", "r11", "r12", "r13", "r14", "sp"};
+  CRS_ENSURE(reg >= 0 && reg < kNumRegisters, "register index out of range");
+  return kNames[reg];
+}
+
+std::optional<int> register_from_name(std::string_view name) {
+  if (name == "sp") return kStackPointer;
+  if (name.size() >= 2 && name[0] == 'r') {
+    std::int64_t idx = 0;
+    if (parse_int(name.substr(1), idx) && idx >= 0 && idx < kNumRegisters) {
+      return static_cast<int>(idx);
+    }
+  }
+  return std::nullopt;
+}
+
+bool reads_rs1(Opcode op) { return op_info(op).reads_rs1; }
+bool reads_rs2(Opcode op) { return op_info(op).reads_rs2; }
+bool writes_rd(Opcode op) { return op_info(op).writes_rd; }
+
+bool is_control_flow(Opcode op) {
+  switch (op_class(op)) {
+    case OpClass::kCondBranch:
+    case OpClass::kJump:
+    case OpClass::kIndirectJump:
+    case OpClass::kCall:
+    case OpClass::kIndirectCall:
+    case OpClass::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string disassemble(const Instruction& instr) {
+  const auto& info = op_info(instr.op);
+  std::string out(info.name);
+  auto rd = [&] { return std::string(register_name(instr.rd)); };
+  auto rs1 = [&] { return std::string(register_name(instr.rs1)); };
+  auto rs2 = [&] { return std::string(register_name(instr.rs2)); };
+  auto imm = [&] { return std::to_string(instr.imm); };
+  auto addr = [&] {
+    return hex(static_cast<std::uint32_t>(instr.imm));
+  };
+
+  switch (instr.op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kMfence:
+    case Opcode::kRet:
+    case Opcode::kSyscall:
+      break;
+    case Opcode::kMovImm:
+      out += " " + rd() + ", " + imm();
+      break;
+    case Opcode::kMov:
+      out += " " + rd() + ", " + rs1();
+      break;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kDivu:
+    case Opcode::kRemu:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSar:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLtu:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+      out += " " + rd() + ", " + rs1() + ", " + rs2();
+      break;
+    case Opcode::kAddImm:
+    case Opcode::kMulImm:
+    case Opcode::kAndImm:
+    case Opcode::kOrImm:
+    case Opcode::kXorImm:
+    case Opcode::kShlImm:
+    case Opcode::kShrImm:
+      out += " " + rd() + ", " + rs1() + ", " + imm();
+      break;
+    case Opcode::kLoad:
+    case Opcode::kLoadB:
+      out += " " + rd() + ", [" + rs1() + (instr.imm >= 0 ? "+" : "") + imm() + "]";
+      break;
+    case Opcode::kStore:
+    case Opcode::kStoreB:
+      out += " [" + rs1() + (instr.imm >= 0 ? "+" : "") + imm() + "], " + rs2();
+      break;
+    case Opcode::kBeqz:
+    case Opcode::kBnez:
+      out += " " + rs1() + ", " + addr();
+      break;
+    case Opcode::kJmp:
+    case Opcode::kCall:
+      out += " " + addr();
+      break;
+    case Opcode::kJmpReg:
+    case Opcode::kCallReg:
+    case Opcode::kPush:
+      out += " " + rs1();
+      break;
+    case Opcode::kClflush:
+      out += " [" + rs1() + (instr.imm >= 0 ? "+" : "") + imm() + "]";
+      break;
+    case Opcode::kPop:
+    case Opcode::kRdCycle:
+      out += " " + rd();
+      break;
+    case Opcode::kOpcodeCount:
+      break;
+  }
+  return out;
+}
+
+}  // namespace crs::isa

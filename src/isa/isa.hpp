@@ -1,0 +1,165 @@
+// Instruction set of the simulated machine.
+//
+// The reproduction needs a machine whose *code lives in simulated memory as
+// bytes*, because the ROP pipeline (paper §II-C) scans executable pages for
+// `ret`-terminated instruction sequences exactly as the authors did with GDB
+// on x86 binaries. We therefore define a compact RISC-style ISA with a fixed
+// 8-byte little-endian encoding:
+//
+//   byte 0   opcode
+//   byte 1   rd   (destination register)
+//   byte 2   rs1  (first source register)
+//   byte 3   rs2  (second source register)
+//   bytes 4-7  imm (signed 32-bit immediate / absolute branch target)
+//
+// There are 16 general-purpose 64-bit registers r0..r15; by convention r15
+// is the stack pointer (`sp`). CALL pushes the return address on the stack
+// and RET pops it — the property the buffer-overflow + ROP chain exploits.
+// CLFLUSH/MFENCE/RDCYCLE expose the cache side channel, mirroring the
+// user-mode x86 instructions the paper's attack and Algorithm 2 rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace crs::isa {
+
+inline constexpr std::size_t kInstructionSize = 8;
+inline constexpr int kNumRegisters = 16;
+inline constexpr int kStackPointer = 15;  ///< r15 doubles as `sp`.
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  kHalt,
+
+  // Data movement.
+  kMovImm,  ///< rd = sign_extend(imm)
+  kMov,     ///< rd = rs1
+
+  // Register-register ALU.
+  kAdd,
+  kSub,
+  kMul,
+  kDivu,  ///< unsigned divide; divide-by-zero yields all-ones (no fault)
+  kRemu,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,  ///< shift amount masked to 6 bits
+  kShr,  ///< logical
+  kSar,  ///< arithmetic
+
+  // Register-immediate ALU.
+  kAddImm,
+  kMulImm,
+  kAndImm,
+  kOrImm,
+  kXorImm,
+  kShlImm,
+  kShrImm,
+
+  // Comparisons producing 0/1 in rd.
+  kCmpLt,   ///< signed rs1 < rs2
+  kCmpLtu,  ///< unsigned rs1 < rs2
+  kCmpEq,
+  kCmpNe,
+
+  // Memory. Effective address = rs1 + imm.
+  kLoad,    ///< rd = mem64[ea]
+  kLoadB,   ///< rd = zero_extend(mem8[ea])
+  kStore,   ///< mem64[ea] = rs2
+  kStoreB,  ///< mem8[ea] = rs2 & 0xff
+
+  // Control flow. Branch/jump/call targets are absolute addresses in imm.
+  kBeqz,  ///< if rs1 == 0 goto imm
+  kBnez,  ///< if rs1 != 0 goto imm
+  kJmp,
+  kJmpReg,   ///< pc = rs1 (indirect jump; predicted via BTB)
+  kCall,     ///< push(pc + 8); pc = imm
+  kCallReg,  ///< push(pc + 8); pc = rs1
+  kRet,      ///< pc = pop()  (predicted via return stack buffer)
+
+  // Stack.
+  kPush,  ///< sp -= 8; mem64[sp] = rs1
+  kPop,   ///< rd = mem64[sp]; sp += 8
+
+  // Micro-architectural instructions used by Spectre and Algorithm 2.
+  kClflush,  ///< evict line containing rs1 + imm from all cache levels
+  kMfence,   ///< drain outstanding loads (serialises the scoreboard)
+  kRdCycle,  ///< rd = current cycle count
+
+  kSyscall,  ///< number in r0, args in r1..r3, result in r0
+
+  kOpcodeCount,  // sentinel
+};
+
+/// Coarse behavioural class; used by the CPU dispatch, the gadget scanner
+/// and the PMU event attribution.
+enum class OpClass : std::uint8_t {
+  kNop,
+  kHalt,
+  kAlu,
+  kLoad,
+  kStore,
+  kCondBranch,
+  kJump,
+  kIndirectJump,
+  kCall,
+  kIndirectCall,
+  kRet,
+  kPush,
+  kPop,
+  kFlush,
+  kFence,
+  kRdCycle,
+  kSyscall,
+};
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Encodes into the fixed 8-byte format.
+std::array<std::uint8_t, kInstructionSize> encode(const Instruction& instr);
+
+/// Decodes 8 bytes; returns nullopt for an illegal opcode or register index.
+/// The gadget scanner relies on this to skip non-instruction bytes.
+std::optional<Instruction> decode(std::span<const std::uint8_t> bytes);
+
+OpClass op_class(Opcode op);
+
+/// Mnemonic, e.g. "add".
+std::string_view mnemonic(Opcode op);
+
+/// Parses a mnemonic; nullopt when unknown.
+std::optional<Opcode> opcode_from_mnemonic(std::string_view name);
+
+/// "r0".."r14" or "sp" for r15.
+std::string_view register_name(int reg);
+
+/// Accepts "r0".."r15" and "sp"; nullopt when unknown.
+std::optional<int> register_from_name(std::string_view name);
+
+/// Human-readable form, e.g. "load r3, [r1+16]".
+std::string disassemble(const Instruction& instr);
+
+/// True when the opcode reads rs1 / rs2 / writes rd. Used by the CPU's
+/// scoreboard and by gadget classification.
+bool reads_rs1(Opcode op);
+bool reads_rs2(Opcode op);
+bool writes_rd(Opcode op);
+
+/// True for instructions that may redirect control flow.
+bool is_control_flow(Opcode op);
+
+}  // namespace crs::isa

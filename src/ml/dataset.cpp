@@ -1,0 +1,144 @@
+#include "ml/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace crs::ml {
+
+void Dataset::append(std::span<const double> features, int label) {
+  CRS_ENSURE(label == 0 || label == 1, "labels must be 0/1");
+  x.append_row(features);
+  y.push_back(label);
+}
+
+void Dataset::append_all(const Dataset& other) {
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    append(other.x.row(i), other.y[i]);
+  }
+}
+
+SplitResult train_test_split(const Dataset& data, double train_fraction,
+                             Rng& rng) {
+  CRS_ENSURE(train_fraction > 0.0 && train_fraction < 1.0,
+             "train_fraction must be in (0, 1)");
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const auto cut =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(order.size()));
+  SplitResult out;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    Dataset& dst = i < cut ? out.train : out.test;
+    dst.append(data.x.row(order[i]), data.y[order[i]]);
+  }
+  return out;
+}
+
+void StandardScaler::fit(const Matrix& x) {
+  CRS_ENSURE(x.rows() > 0, "cannot fit scaler on empty data");
+  mean_.assign(x.cols(), 0.0);
+  inv_std_.assign(x.cols(), 1.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) mean_[j] += row[j];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(x.rows());
+  std::vector<double> var(x.cols(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double d = row[j] - mean_[j];
+      var[j] += d * d;
+    }
+  }
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    const double sd = std::sqrt(var[j] / static_cast<double>(x.rows()));
+    inv_std_[j] = sd > 1e-12 ? 1.0 / sd : 1.0;
+  }
+}
+
+std::vector<double> StandardScaler::transform(
+    std::span<const double> row) const {
+  CRS_ENSURE(fitted(), "scaler not fitted");
+  CRS_ENSURE(row.size() == mean_.size(), "scaler width mismatch");
+  std::vector<double> out(row.size());
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) * inv_std_[j];
+  }
+  return out;
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto t = transform(x.row(i));
+    std::copy(t.begin(), t.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+std::vector<double> fisher_scores(const Dataset& data) {
+  const std::size_t cols = data.x.cols();
+  std::vector<double> mean0(cols, 0.0), mean1(cols, 0.0);
+  std::vector<double> var0(cols, 0.0), var1(cols, 0.0);
+  std::size_t n0 = 0, n1 = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.x.row(i);
+    auto& mean = data.y[i] == 0 ? mean0 : mean1;
+    (data.y[i] == 0 ? n0 : n1) += 1;
+    for (std::size_t j = 0; j < cols; ++j) mean[j] += row[j];
+  }
+  CRS_ENSURE(n0 > 0 && n1 > 0, "fisher_scores needs both classes");
+  for (std::size_t j = 0; j < cols; ++j) {
+    mean0[j] /= static_cast<double>(n0);
+    mean1[j] /= static_cast<double>(n1);
+  }
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto row = data.x.row(i);
+    auto& mean = data.y[i] == 0 ? mean0 : mean1;
+    auto& var = data.y[i] == 0 ? var0 : var1;
+    for (std::size_t j = 0; j < cols; ++j) {
+      const double d = row[j] - mean[j];
+      var[j] += d * d;
+    }
+  }
+  std::vector<double> scores(cols, 0.0);
+  for (std::size_t j = 0; j < cols; ++j) {
+    const double v0 = var0[j] / static_cast<double>(n0);
+    const double v1 = var1[j] / static_cast<double>(n1);
+    const double sep = mean1[j] - mean0[j];
+    scores[j] = sep * sep / (v0 + v1 + 1e-12);
+  }
+  return scores;
+}
+
+std::vector<std::size_t> top_k_features(const Dataset& data, std::size_t k) {
+  const auto scores = fisher_scores(data);
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+Dataset select_features(const Dataset& data,
+                        const std::vector<std::size_t>& indices) {
+  Dataset out;
+  std::vector<double> row(indices.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto src = data.x.row(i);
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+      CRS_ENSURE(indices[j] < src.size(), "feature index out of range");
+      row[j] = src[indices[j]];
+    }
+    out.append(row, data.y[i]);
+  }
+  return out;
+}
+
+}  // namespace crs::ml

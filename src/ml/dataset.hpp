@@ -1,0 +1,58 @@
+// Dataset plumbing for the HID: labelled feature matrices, the paper's
+// 70/30 train/test split, z-score standardisation, and Fisher-score
+// feature ranking (for the Fig. 4 feature-size sweep).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/matrix.hpp"
+#include "support/rng.hpp"
+
+namespace crs::ml {
+
+/// Binary-labelled dataset: y[i] in {0 = benign, 1 = attack}.
+struct Dataset {
+  Matrix x;
+  std::vector<int> y;
+
+  std::size_t size() const { return y.size(); }
+  void append(std::span<const double> features, int label);
+  /// Concatenates another dataset (same width).
+  void append_all(const Dataset& other);
+};
+
+struct SplitResult {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffled split; `train_fraction` of samples go to train (paper: 0.7).
+SplitResult train_test_split(const Dataset& data, double train_fraction,
+                             Rng& rng);
+
+/// Per-feature z-score standardisation fitted on training data.
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  std::vector<double> transform(std::span<const double> row) const;
+  Matrix transform(const Matrix& x) const;
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> inv_std_;
+};
+
+/// Fisher score per feature: (m1-m0)^2 / (v0+v1). Higher = more
+/// class-separating. Returns one score per column.
+std::vector<double> fisher_scores(const Dataset& data);
+
+/// Indices of the `k` highest-Fisher-score features, best first.
+std::vector<std::size_t> top_k_features(const Dataset& data, std::size_t k);
+
+/// Column subset of a dataset.
+Dataset select_features(const Dataset& data,
+                        const std::vector<std::size_t>& indices);
+
+}  // namespace crs::ml

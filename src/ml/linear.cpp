@@ -1,0 +1,130 @@
+#include "ml/linear.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace crs::ml {
+
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+std::vector<std::size_t> shuffled_order(std::size_t n, Rng& rng) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  return order;
+}
+
+}  // namespace
+
+LogisticRegression::LogisticRegression(const LinearConfig& config)
+    : config_(config) {}
+
+void LogisticRegression::fit(const Matrix& x, const std::vector<int>& y) {
+  CRS_ENSURE(x.rows() == y.size(), "X/y size mismatch");
+  CRS_ENSURE(x.rows() > 0, "empty training set");
+  weights_.assign(x.cols(), 0.0);
+  bias_ = 0.0;
+  run_epochs(x, y, config_.epochs);
+}
+
+void LogisticRegression::partial_fit(const Matrix& x,
+                                     const std::vector<int>& y) {
+  CRS_ENSURE(x.rows() == y.size(), "X/y size mismatch");
+  if (weights_.empty()) {
+    fit(x, y);
+    return;
+  }
+  CRS_ENSURE(x.cols() == weights_.size(), "feature width mismatch");
+  run_epochs(x, y, config_.partial_epochs);
+}
+
+void LogisticRegression::run_epochs(const Matrix& x, const std::vector<int>& y,
+                                    int epochs) {
+  Rng rng(config_.seed ^ static_cast<std::uint64_t>(x.rows()));
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    const double lr =
+        config_.learning_rate / (1.0 + 0.02 * static_cast<double>(epoch));
+    for (const std::size_t i : shuffled_order(x.rows(), rng)) {
+      const auto row = x.row(i);
+      const double p = sigmoid(dot(weights_, row) + bias_);
+      const double err = p - static_cast<double>(y[i]);
+      for (std::size_t j = 0; j < weights_.size(); ++j) {
+        weights_[j] -= lr * (err * row[j] + config_.l2 * weights_[j]);
+      }
+      bias_ -= lr * err;
+    }
+  }
+}
+
+double LogisticRegression::predict_proba(std::span<const double> x) const {
+  CRS_ENSURE(x.size() == weights_.size(), "feature width mismatch");
+  return sigmoid(dot(weights_, x) + bias_);
+}
+
+LinearSvm::LinearSvm(const LinearConfig& config) : config_(config) {}
+
+void LinearSvm::fit(const Matrix& x, const std::vector<int>& y) {
+  CRS_ENSURE(x.rows() == y.size(), "X/y size mismatch");
+  CRS_ENSURE(x.rows() > 0, "empty training set");
+  weights_.assign(x.cols(), 0.0);
+  bias_ = 0.0;
+  pegasos_t_ = 1;
+  run_epochs(x, y, config_.epochs);
+}
+
+void LinearSvm::partial_fit(const Matrix& x, const std::vector<int>& y) {
+  CRS_ENSURE(x.rows() == y.size(), "X/y size mismatch");
+  if (weights_.empty()) {
+    fit(x, y);
+    return;
+  }
+  CRS_ENSURE(x.cols() == weights_.size(), "feature width mismatch");
+  run_epochs(x, y, config_.partial_epochs);
+}
+
+void LinearSvm::run_epochs(const Matrix& x, const std::vector<int>& y,
+                           int epochs) {
+  Rng rng(config_.seed ^ static_cast<std::uint64_t>(x.rows()));
+  const double lambda = std::max(config_.l2, 1e-6);
+  std::uint64_t& t = pegasos_t_;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (const std::size_t i : shuffled_order(x.rows(), rng)) {
+      const double lr = 1.0 / (lambda * static_cast<double>(t));
+      const auto row = x.row(i);
+      const double target = y[i] == 1 ? 1.0 : -1.0;
+      const double m = (dot(weights_, row) + bias_) * target;
+      for (std::size_t j = 0; j < weights_.size(); ++j) {
+        weights_[j] *= 1.0 - lr * lambda;
+      }
+      if (m < 1.0) {
+        for (std::size_t j = 0; j < weights_.size(); ++j) {
+          weights_[j] += lr * target * row[j];
+        }
+        bias_ += lr * target * 0.1;  // lightly-regularised bias
+      }
+      ++t;
+    }
+  }
+}
+
+double LinearSvm::margin(std::span<const double> x) const {
+  CRS_ENSURE(x.size() == weights_.size(), "feature width mismatch");
+  return dot(weights_, x) + bias_;
+}
+
+double LinearSvm::predict_proba(std::span<const double> x) const {
+  return sigmoid(2.0 * margin(x));
+}
+
+}  // namespace crs::ml

@@ -1,0 +1,83 @@
+#include "ml/matrix.hpp"
+
+#include "support/error.hpp"
+
+namespace crs::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), values_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  Matrix m;
+  if (rows.empty()) return m;
+  m.rows_ = rows.size();
+  m.cols_ = rows.front().size();
+  m.values_.reserve(m.rows_ * m.cols_);
+  for (const auto& r : rows) {
+    CRS_ENSURE(r.size() == m.cols_, "ragged rows in Matrix::from_rows");
+    m.values_.insert(m.values_.end(), r.begin(), r.end());
+  }
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  CRS_ENSURE(r < rows_ && c < cols_, "Matrix::at out of range");
+  return values_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  CRS_ENSURE(r < rows_ && c < cols_, "Matrix::at out of range");
+  return values_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  CRS_ENSURE(r < rows_, "Matrix::row out of range");
+  return std::span<double>(values_).subspan(r * cols_, cols_);
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  CRS_ENSURE(r < rows_, "Matrix::row out of range");
+  return std::span<const double>(values_).subspan(r * cols_, cols_);
+}
+
+void Matrix::append_row(std::span<const double> values) {
+  if (rows_ == 0 && cols_ == 0) cols_ = values.size();
+  CRS_ENSURE(values.size() == cols_, "append_row width mismatch");
+  values_.insert(values_.end(), values.begin(), values.end());
+  ++rows_;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  CRS_ENSURE(cols_ == other.rows_, "matrix shape mismatch in multiply");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = values_[i * cols_ + k];
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.values_[i * other.cols_ + j] +=
+            aik * other.values_[k * other.cols_ + j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      out.values_[j * rows_ + i] = values_[i * cols_ + j];
+    }
+  }
+  return out;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  CRS_ENSURE(a.size() == b.size(), "dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace crs::ml

@@ -1,0 +1,48 @@
+// Minimal dense row-major matrix for the HID's classifiers.
+//
+// Deliberately small: the detectors operate on a few thousand samples with
+// at most a couple dozen features, so clarity beats BLAS here.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace crs::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  void append_row(std::span<const double> values);
+
+  /// this (m x n) * other (n x p) -> (m x p)
+  Matrix multiply(const Matrix& other) const;
+  Matrix transposed() const;
+
+  std::span<const double> data() const { return values_; }
+  std::span<double> data() { return values_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+/// Dot product of equally-sized spans.
+double dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace crs::ml

@@ -1,0 +1,61 @@
+#include "ml/metrics.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace crs::ml {
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t n = total();
+  return n == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::precision() const {
+  const std::size_t d = tp + fp;
+  return d == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(d);
+}
+
+double ConfusionMatrix::recall() const {
+  const std::size_t d = tp + fn;
+  return d == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(d);
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  const std::size_t benign = tn + fp;
+  const std::size_t attack = tp + fn;
+  if (benign == 0) return recall();
+  const double benign_recall =
+      static_cast<double>(tn) / static_cast<double>(benign);
+  if (attack == 0) return benign_recall;
+  return 0.5 * (benign_recall + recall());
+}
+
+std::string ConfusionMatrix::describe() const {
+  return "tp=" + std::to_string(tp) + " tn=" + std::to_string(tn) +
+         " fp=" + std::to_string(fp) + " fn=" + std::to_string(fn) +
+         " acc=" + fixed(100.0 * accuracy(), 1) +
+         "% bal=" + fixed(100.0 * balanced_accuracy(), 1) +
+         "% recall=" + fixed(100.0 * recall(), 1) + "%";
+}
+
+ConfusionMatrix confusion(std::span<const int> truth,
+                          std::span<const int> predicted) {
+  CRS_ENSURE(truth.size() == predicted.size(), "confusion size mismatch");
+  ConfusionMatrix out;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 1) {
+      (predicted[i] == 1 ? out.tp : out.fn) += 1;
+    } else {
+      (predicted[i] == 1 ? out.fp : out.tn) += 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace crs::ml

@@ -1,0 +1,30 @@
+// Classification metrics used by the HID evaluation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace crs::ml {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;  ///< attack predicted attack
+  std::size_t tn = 0;  ///< benign predicted benign
+  std::size_t fp = 0;  ///< benign predicted attack
+  std::size_t fn = 0;  ///< attack predicted benign
+
+  std::size_t total() const { return tp + tn + fp + fn; }
+  double accuracy() const;
+  double precision() const;
+  double recall() const;  ///< detection rate on the attack class
+  double f1() const;
+  /// Mean of per-class recalls; robust to imbalance (used for Fig. 4).
+  double balanced_accuracy() const;
+  std::string describe() const;
+};
+
+ConfusionMatrix confusion(std::span<const int> truth,
+                          std::span<const int> predicted);
+
+}  // namespace crs::ml

@@ -1,0 +1,239 @@
+#include "ml/mlp.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "ml/linear.hpp"
+#include "support/error.hpp"
+
+namespace crs::ml {
+
+namespace {
+
+double sigmoid(double z) {
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+constexpr double kAdamB1 = 0.9;
+constexpr double kAdamB2 = 0.999;
+constexpr double kAdamEps = 1e-8;
+
+}  // namespace
+
+Mlp::Mlp(const MlpConfig& config) : config_(config) {
+  CRS_ENSURE(!config_.hidden.empty(), "MLP needs at least one hidden layer");
+  for (const int h : config_.hidden) {
+    CRS_ENSURE(h > 0, "hidden layer sizes must be positive");
+  }
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer.w.rows() * layer.w.cols() + layer.b.size();
+  }
+  return n;
+}
+
+std::vector<double> Mlp::forward(
+    std::span<const double> x,
+    std::vector<std::vector<double>>* activations) const {
+  std::vector<double> cur(x.begin(), x.end());
+  if (activations != nullptr) activations->push_back(cur);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    const bool is_output = li + 1 == layers_.size();
+    std::vector<double> next(layer.b);
+    for (std::size_t i = 0; i < layer.w.rows(); ++i) {
+      const double xi = cur[i];
+      if (xi == 0.0) continue;
+      const auto wrow = layer.w.row(i);
+      for (std::size_t j = 0; j < wrow.size(); ++j) next[j] += xi * wrow[j];
+    }
+    for (auto& v : next) {
+      v = is_output ? sigmoid(v) : std::max(0.0, v);  // ReLU hidden
+    }
+    cur = std::move(next);
+    if (activations != nullptr) activations->push_back(cur);
+  }
+  return cur;
+}
+
+void Mlp::fit(const Matrix& x, const std::vector<int>& y) {
+  CRS_ENSURE(x.rows() == y.size(), "X/y size mismatch");
+  CRS_ENSURE(x.rows() > 0, "empty training set");
+
+  // (Re-)initialise He-style weights.
+  Rng rng(config_.seed);
+  layers_.clear();
+  adam_t_ = 0;
+  std::vector<int> sizes;
+  sizes.push_back(static_cast<int>(x.cols()));
+  for (const int h : config_.hidden) sizes.push_back(h);
+  sizes.push_back(1);
+  for (std::size_t li = 0; li + 1 < sizes.size(); ++li) {
+    Layer layer;
+    const auto in = static_cast<std::size_t>(sizes[li]);
+    const auto out = static_cast<std::size_t>(sizes[li + 1]);
+    layer.w = Matrix(in, out);
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (auto& v : layer.w.data()) v = rng.next_gaussian(0.0, scale);
+    layer.b.assign(out, 0.0);
+    layer.mw = Matrix(in, out);
+    layer.vw = Matrix(in, out);
+    layer.mb.assign(out, 0.0);
+    layer.vb.assign(out, 0.0);
+    layers_.push_back(std::move(layer));
+  }
+
+  train_epochs(x, y, config_.epochs, rng);
+}
+
+void Mlp::partial_fit(const Matrix& x, const std::vector<int>& y) {
+  CRS_ENSURE(x.rows() == y.size(), "X/y size mismatch");
+  if (layers_.empty()) {
+    fit(x, y);
+    return;
+  }
+  CRS_ENSURE(x.cols() == layers_.front().w.rows(), "feature width mismatch");
+  Rng rng(config_.seed ^ (0x517EC0DEull + adam_t_));
+  train_epochs(x, y, config_.partial_epochs, rng);
+}
+
+void Mlp::train_epochs(const Matrix& x, const std::vector<int>& y, int epochs,
+                       Rng& rng) {
+  std::vector<std::size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Per-batch gradient accumulators, same shapes as the layers.
+  std::vector<Matrix> gw;
+  std::vector<std::vector<double>> gb;
+  for (const auto& layer : layers_) {
+    gw.emplace_back(layer.w.rows(), layer.w.cols());
+    gb.emplace_back(layer.b.size(), 0.0);
+  }
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(config_.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(config_.batch_size));
+      for (auto& g : gw)
+        for (auto& v : g.data()) v = 0.0;
+      for (auto& g : gb)
+        for (auto& v : g) v = 0.0;
+
+      for (std::size_t oi = start; oi < end; ++oi) {
+        const std::size_t i = order[oi];
+        std::vector<std::vector<double>> acts;
+        const auto out = forward(x.row(i), &acts);
+        // delta at output: sigmoid + BCE -> (p - y)
+        std::vector<double> delta{out[0] - static_cast<double>(y[i])};
+        for (std::size_t li = layers_.size(); li-- > 0;) {
+          const auto& a_in = acts[li];
+          // grads
+          for (std::size_t r = 0; r < layers_[li].w.rows(); ++r) {
+            const double ar = a_in[r];
+            if (ar == 0.0) continue;
+            auto grow = gw[li].row(r);
+            for (std::size_t c = 0; c < grow.size(); ++c) {
+              grow[c] += ar * delta[c];
+            }
+          }
+          for (std::size_t c = 0; c < delta.size(); ++c) gb[li][c] += delta[c];
+          if (li == 0) break;
+          // propagate: delta_prev = W * delta, gated by ReLU derivative
+          std::vector<double> prev(layers_[li].w.rows(), 0.0);
+          for (std::size_t r = 0; r < layers_[li].w.rows(); ++r) {
+            prev[r] = dot(layers_[li].w.row(r), delta);
+            if (acts[li][r] <= 0.0) prev[r] = 0.0;  // ReLU'
+          }
+          delta = std::move(prev);
+        }
+      }
+
+      // Adam step.
+      ++adam_t_;
+      const double bc1 = 1.0 - std::pow(kAdamB1, static_cast<double>(adam_t_));
+      const double bc2 = 1.0 - std::pow(kAdamB2, static_cast<double>(adam_t_));
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t li = 0; li < layers_.size(); ++li) {
+        Layer& layer = layers_[li];
+        auto wdata = layer.w.data();
+        auto mdata = layer.mw.data();
+        auto vdata = layer.vw.data();
+        auto gdata = gw[li].data();
+        for (std::size_t k = 0; k < wdata.size(); ++k) {
+          const double g = gdata[k] * inv_batch + config_.l2 * wdata[k];
+          mdata[k] = kAdamB1 * mdata[k] + (1.0 - kAdamB1) * g;
+          vdata[k] = kAdamB2 * vdata[k] + (1.0 - kAdamB2) * g * g;
+          wdata[k] -= config_.learning_rate * (mdata[k] / bc1) /
+                      (std::sqrt(vdata[k] / bc2) + kAdamEps);
+        }
+        for (std::size_t k = 0; k < layer.b.size(); ++k) {
+          const double g = gb[li][k] * inv_batch;
+          layer.mb[k] = kAdamB1 * layer.mb[k] + (1.0 - kAdamB1) * g;
+          layer.vb[k] = kAdamB2 * layer.vb[k] + (1.0 - kAdamB2) * g * g;
+          layer.b[k] -= config_.learning_rate * (layer.mb[k] / bc1) /
+                        (std::sqrt(layer.vb[k] / bc2) + kAdamEps);
+        }
+      }
+    }
+  }
+}
+
+double Mlp::predict_proba(std::span<const double> x) const {
+  CRS_ENSURE(!layers_.empty(), "MLP not fitted");
+  CRS_ENSURE(x.size() == layers_.front().w.rows(), "feature width mismatch");
+  return forward(x, nullptr)[0];
+}
+
+MlpConfig mlp3_config() {
+  MlpConfig cfg;
+  cfg.hidden = {24, 12};  // input + 2 hidden + output ≈ sklearn "3-layer"
+  cfg.display_name = "MLP";
+  return cfg;
+}
+
+MlpConfig nn6_config() {
+  MlpConfig cfg;
+  cfg.hidden = {32, 32, 16, 16, 8};  // 6 weight layers of ReLU units
+  cfg.epochs = 80;
+  cfg.display_name = "NN";
+  return cfg;
+}
+
+std::unique_ptr<Classifier> make_classifier(const std::string& kind,
+                                            std::uint64_t seed) {
+  if (kind == "MLP") {
+    MlpConfig cfg = mlp3_config();
+    cfg.seed = seed;
+    return std::make_unique<Mlp>(cfg);
+  }
+  if (kind == "NN") {
+    MlpConfig cfg = nn6_config();
+    cfg.seed = seed;
+    return std::make_unique<Mlp>(cfg);
+  }
+  if (kind == "LR") {
+    LinearConfig cfg;
+    cfg.seed = seed;
+    return std::make_unique<LogisticRegression>(cfg);
+  }
+  if (kind == "SVM") {
+    LinearConfig cfg;
+    cfg.seed = seed;
+    return std::make_unique<LinearSvm>(cfg);
+  }
+  CRS_ENSURE(false, "unknown classifier kind '" + kind + "'");
+}
+
+std::vector<std::string> classifier_zoo() { return {"MLP", "NN", "LR", "SVM"}; }
+
+}  // namespace crs::ml

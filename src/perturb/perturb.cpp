@@ -1,0 +1,262 @@
+#include "perturb/perturb.hpp"
+
+#include "support/error.hpp"
+
+namespace crs::perturb {
+
+namespace {
+
+/// Emits the eviction of `var` (clflush-free): a 16-way aliasing walk over
+/// the 32 KiB-strided lines behind it. Clobbers r5, r6, r7.
+std::string evict_var() {
+  std::string s;
+  s += "    mov r7, r4\n";
+  // Unrolled (label-free, so every call site stays unique): 16 aliasing
+  // fills guarantee eviction from an 8-way set.
+  for (int w = 0; w < 16; ++w) {
+    s += "    movi r5, 32768\n";
+    s += "    add r7, r7, r5\n";
+    s += "    load r5, [r7]\n";
+  }
+  return s;
+}
+
+std::string ladder(const std::string& var_label, int step,
+                   const std::string& skip_label, bool double_flush,
+                   bool flushless) {
+  // if (i < *var) { flush(var); fence; *var += step;
+  //                 [flush(var); fence; *var -= step;] }
+  // In flushless mode the flush+fence pair becomes an eviction-set walk.
+  std::string s;
+  s += "    movi r4, " + var_label + "\n";
+  s += "    load r5, [r4]\n";
+  s += "    cmplt r9, r8, r5\n";
+  s += "    beqz r9, " + skip_label + "\n";
+  if (flushless) {
+    s += evict_var();
+  } else {
+    s += "    clflush [r4]\n";
+    s += "    mfence\n";
+  }
+  s += "    load r5, [r4]\n";
+  s += "    addi r5, r5, " + std::to_string(step) + "\n";
+  s += "    store [r4], r5\n";
+  if (double_flush) {
+    if (flushless) {
+      s += evict_var();
+    } else {
+      s += "    clflush [r4]\n";
+      s += "    mfence\n";
+    }
+    s += "    load r5, [r4]\n";
+    s += "    addi r5, r5, " + std::to_string(-step) + "\n";
+    s += "    store [r4], r5\n";
+  }
+  s += skip_label + ":\n";
+  return s;
+}
+
+}  // namespace
+
+std::string mimic_style_name(MimicStyle style) {
+  switch (style) {
+    case MimicStyle::kHotAlu:
+      return "hot_alu";
+    case MimicStyle::kStrided:
+      return "strided";
+    case MimicStyle::kBranchy:
+      return "branchy";
+    case MimicStyle::kStores:
+      return "stores";
+  }
+  return "unknown";
+}
+
+std::string PerturbParams::describe() const {
+  return "a=" + std::to_string(a) + " b=" + std::to_string(b) +
+         " n=" + std::to_string(loop_count) + " as=" + std::to_string(a_step) +
+         " bs=" + std::to_string(b_step) +
+         " x=" + std::to_string(extra_ladders) + " d=" + std::to_string(delay) +
+         " s=" + mimic_style_name(style) + (flushless ? " fl" : "");
+}
+
+std::string generate_perturb_source(const PerturbParams& params,
+                                    std::string_view label) {
+  CRS_ENSURE(params.loop_count > 0, "loop_count must be positive");
+  CRS_ENSURE(params.extra_ladders >= 0 && params.extra_ladders <= 8,
+             "extra_ladders out of range");
+  const std::string l(label);
+
+  std::string s;
+  s += "; ---- Algorithm 2: dynamic perturbation (" + params.describe() +
+       ") ----\n";
+  s += ".text\n";
+  s += l + ":\n";
+  // Re-initialise the loop variables (Algorithm 2 line 2: locals).
+  s += "    movi r4, " + l + "_a\n";
+  s += "    movi r5, " + std::to_string(params.a) + "\n";
+  s += "    store [r4], r5\n";
+  s += "    movi r4, " + l + "_b\n";
+  s += "    movi r5, " + std::to_string(params.b) + "\n";
+  s += "    store [r4], r5\n";
+  for (int k = 0; k < params.extra_ladders; ++k) {
+    s += "    movi r4, " + l + "_c" + std::to_string(k) + "\n";
+    s += "    movi r5, " + std::to_string(params.a + 3 * (k + 1)) + "\n";
+    s += "    store [r4], r5\n";
+  }
+  s += "    movi r8, 0\n";  // i
+  s += l + "_loop:\n";
+  s += ladder(l + "_a", params.a_step, l + "_skip_a", /*double_flush=*/false,
+              params.flushless);
+  s += ladder(l + "_b", params.b_step, l + "_skip_b", /*double_flush=*/true,
+              params.flushless);
+  for (int k = 0; k < params.extra_ladders; ++k) {
+    s += ladder(l + "_c" + std::to_string(k), params.b_step + 2 * (k + 1),
+                l + "_skip_c" + std::to_string(k),
+                /*double_flush=*/(k % 2) == 1, params.flushless);
+  }
+  s += "    addi r8, r8, 1\n";
+  s += "    movi r9, " + std::to_string(params.loop_count) + "\n";
+  s += "    cmplt r9, r8, r9\n";
+  s += "    bnez r9, " + l + "_loop\n";
+  if (params.delay > 0) {
+    // Dispersal (§II-E last paragraph): spread the perturbation in time so
+    // per-window HPC magnitudes can also *shrink*. The body imitates a
+    // chosen class of benign functional operations (cf. the authors'
+    // "imitating functional operations" line of work), so diluted windows
+    // drift toward a *specific* benign cluster; mutating the style moves
+    // the signature somewhere new.
+    s += "    movi r9, " + std::to_string(params.delay) + "\n";
+    s += "    movi r4, " + l + "_a\n";
+    s += "    movi r6, 77\n";
+    s += l + "_delay:\n";
+    switch (params.style) {
+      case MimicStyle::kHotAlu:
+        // Compute-bound benign profile (basicmath-like): LCG arithmetic,
+        // a divide, hot memory, and a lightly unpredictable branch.
+        s += "    muli r6, r6, 1103515245\n";
+        s += "    addi r6, r6, 12345\n";
+        s += "    movi r5, 0x7fffffff\n";
+        s += "    and r6, r6, r5\n";
+        s += "    divu r5, r6, r9\n";
+        s += "    load r7, [r4]\n";
+        s += "    add r7, r7, r5\n";
+        s += "    store [r4+8], r7\n";
+        s += "    andi r5, r6, 7\n";
+        s += "    beqz r5, " + l + "_dskip\n";  // ~12% taken: mild mispredicts
+        s += "    addi r7, r7, 1\n";
+        s += l + "_dskip:\n";
+        break;
+      case MimicStyle::kStrided:
+        // Strided loads over a 64 KiB buffer: L1-missing, L2-hitting —
+        // the streaming/browser-like benign profile.
+        s += "    shli r5, r9, 6\n";
+        s += "    andi r5, r5, 0xffff\n";
+        s += "    movi r7, " + l + "_buf\n";
+        s += "    add r5, r7, r5\n";
+        s += "    load r6, [r5]\n";
+        s += "    add r6, r6, r9\n";
+        s += "    xori r6, r6, 0x1f\n";
+        s += "    shri r6, r6, 1\n";
+        break;
+      case MimicStyle::kBranchy:
+        // Search-like benign profile (binsearch): hot loads plus one
+        // genuinely unpredictable branch per ~10 instructions.
+        s += "    muli r6, r6, 1103515245\n";
+        s += "    addi r6, r6, 12345\n";
+        s += "    load r5, [r4]\n";
+        s += "    add r5, r5, r6\n";
+        s += "    andi r5, r6, 1\n";
+        s += "    beqz r5, " + l + "_dskip\n";  // 50% taken: heavy mispredicts
+        s += "    addi r7, r7, 1\n";
+        s += l + "_dskip:\n";
+        s += "    xor r7, r7, r6\n";
+        break;
+      case MimicStyle::kStores:
+        // Image-filter benign profile (susan-like): loads, divide, stores.
+        s += "    load r5, [r4]\n";
+        s += "    add r5, r5, r9\n";
+        s += "    movi r7, 9\n";
+        s += "    divu r5, r5, r7\n";
+        s += "    store [r4+8], r5\n";
+        s += "    shri r7, r5, 2\n";
+        s += "    store [r4+16], r7\n";
+        break;
+    }
+    s += "    addi r9, r9, -1\n";
+    s += "    bnez r9, " + l + "_delay\n";
+  }
+  s += "    ret\n";
+  // Backing words for the loop variables, each on its own cache line so
+  // every flush/eviction costs a genuine miss on the reload. In flushless
+  // mode the variables anchor a 32 KiB-aligned block whose 32768-strided
+  // lines alias their L1/L2 sets (the eviction walk's targets).
+  s += ".data\n";
+  if (params.flushless) {
+    // Anchor the variables at set offsets above the probed range (>255*64)
+    // so eviction walks cannot alias a prime+probe receiver's sets.
+    s += ".align 32768\n";
+    s += l + "_pad: .space 16448\n";
+  } else {
+    s += ".align 64\n";
+  }
+  s += l + "_a: .word 0\n";
+  s += ".align 64\n";
+  s += l + "_b: .word 0\n";
+  for (int k = 0; k < params.extra_ladders; ++k) {
+    s += ".align 64\n";
+    s += l + "_c" + std::to_string(k) + ": .word 0\n";
+  }
+  if (params.flushless) {
+    // 17 way-strides of eviction backing behind the variables.
+    s += ".align 32768\n";
+    s += l + "_evb: .space " + std::to_string(17 * 32768) + "\n";
+  }
+  if (params.delay > 0 && params.style == MimicStyle::kStrided) {
+    s += ".align 64\n";
+    s += l + "_buf: .space 65600\n";  // 64 KiB + slack for the masked index
+  }
+  s += ".text\n";
+  return s;
+}
+
+std::string generate_noop_perturb_source(std::string_view label) {
+  std::string s;
+  s += ".text\n";
+  s += std::string(label) + ":\n";
+  s += "    ret\n";
+  return s;
+}
+
+VariantMutator::VariantMutator(const PerturbParams& initial,
+                               std::uint64_t seed)
+    : current_(initial), rng_(seed) {}
+
+PerturbParams VariantMutator::draw() {
+  PerturbParams p;
+  p.a = static_cast<int>(rng_.next_in(5, 40));
+  p.b = static_cast<int>(rng_.next_in(2, 20));
+  p.loop_count = static_cast<int>(rng_.next_in(6, 28));
+  p.a_step = static_cast<int>(rng_.next_in(1, 10)) * 10;
+  p.b_step = static_cast<int>(rng_.next_in(1, 6)) * 5;
+  p.extra_ladders = static_cast<int>(rng_.next_in(0, 3));
+  // Delay disperses the perturbation: larger values dilute per-window HPC
+  // magnitudes toward benign levels. Small delays stay in the pool so some
+  // variants remain loud — the oscillation of Fig. 6(b).
+  static constexpr int kDelays[] = {250, 500, 1000, 2000, 3000, 4000};
+  p.delay = kDelays[rng_.next_below(std::size(kDelays))];
+  p.style = static_cast<MimicStyle>(rng_.next_below(4));
+  return p;
+}
+
+const PerturbParams& VariantMutator::next() {
+  PerturbParams p = draw();
+  // Guarantee progress: identical consecutive variants would hand the
+  // online HID a second training pass for free.
+  for (int guard = 0; guard < 16 && p == current_; ++guard) p = draw();
+  current_ = p;
+  ++generation_;
+  return current_;
+}
+
+}  // namespace crs::perturb

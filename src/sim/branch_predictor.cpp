@@ -1,0 +1,88 @@
+#include "sim/branch_predictor.hpp"
+
+#include "support/error.hpp"
+
+namespace crs::sim {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+PatternHistoryTable::PatternHistoryTable(std::uint32_t entries) {
+  CRS_ENSURE(is_pow2(entries), "PHT entries must be a power of two");
+  counters_.assign(entries, 1);  // weakly not-taken
+}
+
+std::uint64_t PatternHistoryTable::index(std::uint64_t pc) const {
+  return (pc >> 3) & (counters_.size() - 1);
+}
+
+bool PatternHistoryTable::predict_taken(std::uint64_t pc) const {
+  return counters_[index(pc)] >= 2;
+}
+
+void PatternHistoryTable::update(std::uint64_t pc, bool taken) {
+  std::uint8_t& c = counters_[index(pc)];
+  if (taken) {
+    if (c < 3) ++c;
+  } else {
+    if (c > 0) --c;
+  }
+}
+
+std::uint8_t PatternHistoryTable::counter(std::uint64_t pc) const {
+  return counters_[index(pc)];
+}
+
+BranchTargetBuffer::BranchTargetBuffer(std::uint32_t entries) {
+  CRS_ENSURE(is_pow2(entries), "BTB entries must be a power of two");
+  entries_.resize(entries);
+}
+
+std::uint64_t BranchTargetBuffer::index(std::uint64_t pc) const {
+  return (pc >> 3) & (entries_.size() - 1);
+}
+
+std::optional<std::uint64_t> BranchTargetBuffer::predict(
+    std::uint64_t pc) const {
+  const Entry& e = entries_[index(pc)];
+  if (e.valid && e.pc == pc) return e.target;
+  return std::nullopt;
+}
+
+void BranchTargetBuffer::update(std::uint64_t pc, std::uint64_t target) {
+  Entry& e = entries_[index(pc)];
+  e.valid = true;
+  e.pc = pc;
+  e.target = target;
+}
+
+ReturnStackBuffer::ReturnStackBuffer(std::uint32_t entries) {
+  CRS_ENSURE(entries > 0, "RSB must have at least one entry");
+  ring_.assign(entries, 0);
+}
+
+void ReturnStackBuffer::push(std::uint64_t return_address) {
+  ring_[top_] = return_address;
+  top_ = (top_ + 1) % ring_.size();
+  if (depth_ < ring_.size()) ++depth_;
+}
+
+std::optional<std::uint64_t> ReturnStackBuffer::pop() {
+  if (depth_ == 0) return std::nullopt;
+  top_ = (top_ + ring_.size() - 1) % ring_.size();
+  --depth_;
+  return ring_[top_];
+}
+
+void ReturnStackBuffer::clear() {
+  top_ = 0;
+  depth_ = 0;
+}
+
+BranchPredictor::BranchPredictor(const PredictorConfig& config)
+    : pht_(config.pht_entries),
+      btb_(config.btb_entries),
+      rsb_(config.rsb_entries) {}
+
+}  // namespace crs::sim

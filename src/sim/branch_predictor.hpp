@@ -1,0 +1,93 @@
+// Branch prediction structures: the micro-architectural state Spectre
+// mistrains.
+//
+// - Pattern history table (PHT) of 2-bit saturating counters drives
+//   conditional-branch prediction — Spectre-PHT (v1) trains the bounds
+//   check "in bounds" and then supplies an out-of-bounds index.
+// - Branch target buffer (BTB) predicts indirect-jump targets.
+// - Return stack buffer (RSB) predicts RET targets — Spectre-RSB exploits
+//   the mismatch between the RSB and an overwritten on-stack return
+//   address, which is exactly the state the ROP overflow creates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace crs::sim {
+
+struct PredictorConfig {
+  std::uint32_t pht_entries = 4096;  ///< power of two
+  std::uint32_t btb_entries = 512;   ///< power of two
+  std::uint32_t rsb_entries = 16;
+};
+
+/// 2-bit saturating counter PHT, indexed by (pc >> 3) & mask.
+class PatternHistoryTable {
+ public:
+  explicit PatternHistoryTable(std::uint32_t entries);
+
+  bool predict_taken(std::uint64_t pc) const;
+  void update(std::uint64_t pc, bool taken);
+  /// Counter value (0..3) for tests.
+  std::uint8_t counter(std::uint64_t pc) const;
+
+ private:
+  std::uint64_t index(std::uint64_t pc) const;
+  std::vector<std::uint8_t> counters_;  // init 1 = weakly not-taken
+};
+
+/// Direct-mapped BTB: pc -> last observed target.
+class BranchTargetBuffer {
+ public:
+  explicit BranchTargetBuffer(std::uint32_t entries);
+
+  std::optional<std::uint64_t> predict(std::uint64_t pc) const;
+  void update(std::uint64_t pc, std::uint64_t target);
+
+ private:
+  struct Entry {
+    bool valid = false;
+    std::uint64_t pc = 0;
+    std::uint64_t target = 0;
+  };
+  std::uint64_t index(std::uint64_t pc) const;
+  std::vector<Entry> entries_;
+};
+
+/// Circular return stack buffer. Overflow wraps (overwriting the oldest
+/// entry); underflow returns nullopt.
+class ReturnStackBuffer {
+ public:
+  explicit ReturnStackBuffer(std::uint32_t entries);
+
+  void push(std::uint64_t return_address);
+  std::optional<std::uint64_t> pop();
+  std::size_t depth() const { return depth_; }
+  void clear();
+
+ private:
+  std::vector<std::uint64_t> ring_;
+  std::size_t top_ = 0;    // next push slot
+  std::size_t depth_ = 0;  // live entries, <= ring_.size()
+};
+
+/// Facade bundling the three structures, as the CPU sees them.
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const PredictorConfig& config = {});
+
+  PatternHistoryTable& pht() { return pht_; }
+  BranchTargetBuffer& btb() { return btb_; }
+  ReturnStackBuffer& rsb() { return rsb_; }
+  const PatternHistoryTable& pht() const { return pht_; }
+  const BranchTargetBuffer& btb() const { return btb_; }
+  const ReturnStackBuffer& rsb() const { return rsb_; }
+
+ private:
+  PatternHistoryTable pht_;
+  BranchTargetBuffer btb_;
+  ReturnStackBuffer rsb_;
+};
+
+}  // namespace crs::sim

@@ -1,0 +1,120 @@
+#include "sim/cache.hpp"
+
+#include "support/error.hpp"
+
+namespace crs::sim {
+
+namespace {
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+CacheLevel::CacheLevel(const CacheConfig& config) : config_(config) {
+  CRS_ENSURE(is_pow2(config.line_size), "cache line size must be a power of two");
+  CRS_ENSURE(config.ways > 0, "cache must have at least one way");
+  CRS_ENSURE(config.size_bytes % (config.line_size * config.ways) == 0,
+             "cache size must be a multiple of line_size * ways");
+  num_sets_ = config.size_bytes / (config.line_size * config.ways);
+  CRS_ENSURE(is_pow2(num_sets_), "number of sets must be a power of two");
+  ways_.resize(static_cast<std::size_t>(num_sets_) * config.ways);
+}
+
+std::uint64_t CacheLevel::set_index(std::uint64_t addr) const {
+  return (addr / config_.line_size) & (num_sets_ - 1);
+}
+
+std::uint64_t CacheLevel::tag_of(std::uint64_t addr) const {
+  return (addr / config_.line_size) / num_sets_;
+}
+
+bool CacheLevel::access(std::uint64_t addr) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &ways_[set * config_.ways];
+  ++use_counter_;
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = use_counter_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = use_counter_;
+  return false;
+}
+
+bool CacheLevel::probe(std::uint64_t addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Way* base = &ways_[set * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void CacheLevel::flush_line(std::uint64_t addr) {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* base = &ways_[set * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].valid = false;
+      return;
+    }
+  }
+}
+
+void CacheLevel::clear() {
+  for (auto& way : ways_) way = Way{};
+  use_counter_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
+    : config_(config), l1d_(config.l1d), l1i_(config.l1i), l2_(config.l2) {}
+
+AccessOutcome MemoryHierarchy::access_data(std::uint64_t addr) {
+  AccessOutcome out;
+  out.l1_hit = l1d_.access(addr);
+  if (out.l1_hit) {
+    out.latency = config_.timings.l1_hit;
+    return out;
+  }
+  out.l2_hit = l2_.access(addr);
+  out.latency = out.l2_hit ? config_.timings.l2_hit : config_.timings.memory;
+  return out;
+}
+
+MemoryHierarchy::FetchOutcome MemoryHierarchy::access_fetch(
+    std::uint64_t addr) {
+  FetchOutcome out;
+  out.l1i_hit = l1i_.access(addr);
+  if (out.l1i_hit) {
+    out.latency = config_.timings.fetch_l1_hit;
+    return out;
+  }
+  // Instruction misses are backed by the shared L2 as well.
+  const bool l2_hit = l2_.access(addr);
+  out.latency = config_.timings.fetch_l1_miss + (l2_hit ? 0 : config_.timings.memory / 4);
+  return out;
+}
+
+void MemoryHierarchy::flush_data(std::uint64_t addr) {
+  l1d_.flush_line(addr);
+  l2_.flush_line(addr);
+}
+
+void MemoryHierarchy::clear() {
+  l1d_.clear();
+  l1i_.clear();
+  l2_.clear();
+}
+
+}  // namespace crs::sim

@@ -1,0 +1,118 @@
+// Set-associative cache timing model.
+//
+// The caches hold no data (the architectural state lives in sim::Memory);
+// they model *presence and latency*, which is all the flush+reload covert
+// channel and the HPC cache-event counters need. Speculative (wrong-path)
+// loads go through the same hierarchy, so transiently-accessed lines stay
+// resident after a squash — the micro-architectural side effect Spectre
+// leaks through.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace crs::sim {
+
+struct CacheConfig {
+  std::uint32_t size_bytes = 32 * 1024;
+  std::uint32_t line_size = 64;
+  std::uint32_t ways = 8;
+};
+
+/// One level of set-associative cache with LRU replacement.
+class CacheLevel {
+ public:
+  explicit CacheLevel(const CacheConfig& config);
+
+  /// Touches the line containing `addr`: returns true on hit. On miss the
+  /// line is filled (LRU victim evicted).
+  bool access(std::uint64_t addr);
+
+  /// True when the line is resident. No state change (for tests/debug).
+  bool probe(std::uint64_t addr) const;
+
+  /// Evicts the line containing `addr` if resident.
+  void flush_line(std::uint64_t addr);
+
+  /// Invalidates everything.
+  void clear();
+
+  std::uint32_t line_size() const { return config_.line_size; }
+  std::uint32_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Way {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // larger = more recently used
+  };
+
+  std::uint64_t set_index(std::uint64_t addr) const;
+  std::uint64_t tag_of(std::uint64_t addr) const;
+
+  CacheConfig config_;
+  std::uint32_t num_sets_ = 0;
+  std::uint64_t use_counter_ = 0;
+  std::vector<Way> ways_;  // num_sets_ * config_.ways, row-major by set
+};
+
+/// Latencies in cycles for each residence level.
+struct HierarchyTimings {
+  std::uint32_t l1_hit = 3;
+  std::uint32_t l2_hit = 14;
+  std::uint32_t memory = 120;
+  std::uint32_t fetch_l1_hit = 0;  ///< fetch hit adds no stall (pipelined)
+  std::uint32_t fetch_l1_miss = 8;
+  std::uint32_t flush_cost = 36;
+};
+
+struct HierarchyConfig {
+  CacheConfig l1d{32 * 1024, 64, 8};
+  CacheConfig l1i{32 * 1024, 64, 8};
+  CacheConfig l2{256 * 1024, 64, 8};
+  HierarchyTimings timings;
+};
+
+/// What a data access did, so the CPU can attribute PMU events.
+struct AccessOutcome {
+  bool l1_hit = false;
+  bool l2_hit = false;
+  std::uint32_t latency = 0;
+};
+
+/// Two-level data hierarchy plus an instruction cache. Inclusive-ish: fills
+/// propagate to both levels; clflush evicts from both (as x86 clflush
+/// evicts from the whole hierarchy).
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const HierarchyConfig& config = {});
+
+  AccessOutcome access_data(std::uint64_t addr);
+
+  /// Instruction fetch: returns {hit, stall_cycles}.
+  struct FetchOutcome {
+    bool l1i_hit = false;
+    std::uint32_t latency = 0;
+  };
+  FetchOutcome access_fetch(std::uint64_t addr);
+
+  /// clflush semantics: evict the data line everywhere.
+  void flush_data(std::uint64_t addr);
+
+  void clear();
+
+  const HierarchyTimings& timings() const { return config_.timings; }
+  std::uint32_t line_size() const { return config_.l1d.line_size; }
+
+  /// Residence probes for tests and the covert-channel unit tests.
+  bool l1d_resident(std::uint64_t addr) const { return l1d_.probe(addr); }
+  bool l2_resident(std::uint64_t addr) const { return l2_.probe(addr); }
+
+ private:
+  HierarchyConfig config_;
+  CacheLevel l1d_;
+  CacheLevel l1i_;
+  CacheLevel l2_;
+};
+
+}  // namespace crs::sim

@@ -1,0 +1,179 @@
+// Speculative CPU model.
+//
+// The model is architectural execution plus the three micro-architectural
+// behaviours Spectre needs, made explicit:
+//
+// 1. *Scoreboarded loads*: each register carries a "ready at cycle" time.
+//    A load's destination becomes ready only after the cache latency, so a
+//    conditional branch whose operand was just loaded from a flushed line
+//    resolves late.
+// 2. *Bounded wrong-path execution*: when a branch is mispredicted and its
+//    resolution is pending, the CPU executes the predicted path for up to
+//    `min(resolve delay, max_spec_window)` instructions against a register
+//    checkpoint and a store buffer. On resolution everything architectural
+//    is rolled back — but data-cache fills performed by wrong-path loads
+//    persist. That retained state is the Spectre leak.
+// 3. *Predictor-driven redirects* for all three structures: PHT
+//    (conditional branches → Spectre-PHT/v1), BTB (indirect jumps), and RSB
+//    (returns → Spectre-RSB; also what fires when a ROP payload overwrites
+//    a saved return address).
+//
+// Timing is approximate (scalar, one instruction per cycle plus stalls) but
+// internally consistent, which is what the IPC overhead analysis (paper
+// Table I) and the HPC-based detector need.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "sim/branch_predictor.hpp"
+#include "sim/cache.hpp"
+#include "sim/memory.hpp"
+#include "sim/pmu.hpp"
+
+namespace crs::sim {
+
+struct CpuConfig {
+  /// Maximum wrong-path instructions per misprediction episode (ROB-ish).
+  std::uint32_t max_spec_window = 64;
+  /// How far (in cycles) a result's ready time may run ahead of the front
+  /// end before the ROB fills and stalls it. Bounds memory-level
+  /// parallelism: dependent-load chains retire at memory latency instead
+  /// of deferring their cost to the next serialising instruction.
+  std::uint32_t rob_window = 192;
+  /// Extra cycles to redirect the front end after a misprediction resolves.
+  std::uint32_t mispredict_penalty = 14;
+  /// Cycles for mfence beyond draining the scoreboard.
+  std::uint32_t fence_cost = 4;
+  /// Cycles charged to a syscall (mode switch), also serialising.
+  std::uint32_t syscall_cost = 80;
+  /// Extra latency for multiply / divide results.
+  std::uint32_t mul_latency = 3;
+  std::uint32_t div_latency = 12;
+};
+
+enum class FaultKind {
+  kNone,
+  kFetchPermission,    ///< fetching from a non-executable page (DEP)
+  kIllegalInstruction,
+  kReadPermission,
+  kWritePermission,
+  kStackCanary,        ///< raised by the kernel's canary-check syscall
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  std::uint64_t pc = 0;    ///< faulting instruction address
+  std::uint64_t addr = 0;  ///< offending data address, when applicable
+};
+
+enum class StopReason { kHalted, kFault, kInstructionLimit, kCycleLimit };
+
+/// What the kernel's syscall handler tells the CPU to do next.
+enum class SyscallOutcome { kContinue, kHalt };
+
+class Cpu {
+ public:
+  using SyscallHandler = std::function<SyscallOutcome(Cpu&)>;
+
+  Cpu(Memory& memory, MemoryHierarchy& hierarchy, BranchPredictor& predictor,
+      Pmu& pmu, const CpuConfig& config = {});
+
+  /// Clears registers, sets pc/sp, clears fault & halt. Does NOT reset the
+  /// caches, predictor or PMU — those persist across execve, as on real
+  /// hardware.
+  void reset(std::uint64_t entry_pc, std::uint64_t stack_top);
+
+  /// Executes one architectural instruction (and any wrong-path episode it
+  /// triggers). No-op when halted.
+  void step();
+
+  /// Runs until halt/fault or `max_instructions` retired.
+  StopReason run(std::uint64_t max_instructions);
+
+  /// Runs until halt/fault, the cycle counter reaches `cycle_target`, or
+  /// `max_instructions` retired — the profiler's sampling loop.
+  StopReason run_until_cycle(std::uint64_t cycle_target,
+                             std::uint64_t max_instructions);
+
+  bool halted() const { return halted_; }
+  const Fault& fault() const { return fault_; }
+
+  /// Raises an architectural fault (also used by the kernel, e.g. for the
+  /// stack-canary check) and halts.
+  void raise_fault(FaultKind kind, std::uint64_t addr);
+
+  std::uint64_t reg(int r) const;
+  void set_reg(int r, std::uint64_t value);
+  std::uint64_t pc() const { return pc_; }
+  void set_pc(std::uint64_t pc) { pc_ = pc; }
+  std::uint64_t sp() const { return reg(isa::kStackPointer); }
+  void set_sp(std::uint64_t sp) { set_reg(isa::kStackPointer, sp); }
+
+  std::uint64_t cycle() const { return cycle_; }
+  std::uint64_t retired() const { return retired_; }
+
+  void set_syscall_handler(SyscallHandler handler) {
+    syscall_handler_ = std::move(handler);
+  }
+
+  Memory& memory() { return memory_; }
+  MemoryHierarchy& hierarchy() { return hierarchy_; }
+  BranchPredictor& predictor() { return predictor_; }
+  Pmu& pmu() { return pmu_; }
+  const CpuConfig& config() const { return config_; }
+
+ private:
+  // -- architectural execution helpers ------------------------------------
+  void exec_alu(const isa::Instruction& instr);
+  void exec_load(const isa::Instruction& instr);
+  void exec_store(const isa::Instruction& instr);
+  void exec_cond_branch(const isa::Instruction& instr);
+  void exec_indirect_jump(const isa::Instruction& instr);
+  void exec_call(const isa::Instruction& instr);
+  void exec_ret(const isa::Instruction& instr);
+  void exec_push_pop(const isa::Instruction& instr);
+  void exec_misc(const isa::Instruction& instr);
+
+  std::uint64_t ready_at(int r) const { return reg_ready_[r]; }
+  void set_ready(int r, std::uint64_t cycle) {
+    reg_ready_[r] = cycle;
+    // ROB-full stall: the front end cannot run arbitrarily far behind an
+    // outstanding result.
+    if (cycle > cycle_ + config_.rob_window) {
+      cycle_ = cycle - config_.rob_window;
+    }
+  }
+  std::uint64_t max_ready() const;
+  std::uint64_t alu_result(const isa::Instruction& instr, std::uint64_t a,
+                           std::uint64_t b) const;
+
+  /// Counts L1D/L2 access+miss events for a data access.
+  void attribute_data_access(const AccessOutcome& outcome);
+
+  // -- wrong-path (transient) execution ------------------------------------
+  /// Executes up to `budget` instructions starting at `spec_pc` against a
+  /// checkpoint. Cache and PMU speculative counters are mutated; registers
+  /// and memory are not.
+  void run_wrong_path(std::uint64_t spec_pc, std::uint64_t budget);
+
+  Memory& memory_;
+  MemoryHierarchy& hierarchy_;
+  BranchPredictor& predictor_;
+  Pmu& pmu_;
+  CpuConfig config_;
+
+  std::uint64_t regs_[isa::kNumRegisters] = {};
+  std::uint64_t reg_ready_[isa::kNumRegisters] = {};
+  std::uint64_t pc_ = 0;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t retired_ = 0;
+  bool halted_ = true;
+  Fault fault_;
+  SyscallHandler syscall_handler_;
+};
+
+}  // namespace crs::sim

@@ -1,0 +1,327 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace crs::sim {
+
+namespace {
+constexpr std::uint64_t kMaxWriteLen = 1 << 20;
+constexpr std::uint64_t kMaxPathLen = 256;
+}  // namespace
+
+Machine::Machine(const MachineConfig& config)
+    : config_(config),
+      memory_(config.memory_size),
+      hierarchy_(config.hierarchy),
+      predictor_(config.predictor),
+      pmu_(),
+      cpu_(memory_, hierarchy_, predictor_, pmu_, config.cpu) {}
+
+Kernel::Kernel(Machine& machine, const KernelConfig& config)
+    : machine_(machine), config_(config), rng_(config.seed) {
+  next_stack_top_ = machine_.memory().size();
+}
+
+void Kernel::register_binary(const std::string& path, Program program) {
+  registry_[path] = std::move(program);
+}
+
+bool Kernel::has_binary(const std::string& path) const {
+  return registry_.count(path) != 0;
+}
+
+LoadInfo Kernel::map_image(const std::string& path, const Program& program) {
+  Memory& mem = machine_.memory();
+  CRS_ENSURE(!program.segments.empty(),
+             "program '" + program.name + "' has no segments");
+
+  std::uint64_t delta = 0;
+  const auto fits = [&](std::uint64_t d) {
+    for (const auto& seg : program.segments) {
+      const std::uint64_t lo = seg.addr + d;
+      const std::uint64_t hi = lo + seg.bytes.size();
+      if (hi > next_stack_top_) return false;  // would run into stacks
+      for (const auto& li : load_order_) {
+        if (lo < li.hi && li.lo < hi) return false;  // overlap
+      }
+    }
+    return true;
+  };
+
+  if (config_.aslr) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      const std::uint64_t pages = config_.aslr_range / Memory::kPageSize;
+      delta = rng_.next_below(pages) * Memory::kPageSize;
+      placed = fits(delta);
+    }
+    CRS_ENSURE(placed, "ASLR could not place image '" + program.name + "'");
+  } else {
+    CRS_ENSURE(fits(0), "image '" + program.name + "' does not fit");
+  }
+
+  LoadInfo info;
+  info.path = path;
+  info.base_delta = delta;
+  info.entry = program.entry + delta;
+  info.lo = ~0ull;
+  info.hi = 0;
+
+  for (std::size_t si = 0; si < program.segments.size(); ++si) {
+    const Segment& seg = program.segments[si];
+    std::vector<std::uint8_t> bytes = seg.bytes;
+    for (const Relocation& rel : program.relocations) {
+      if (rel.segment != si) continue;
+      if (rel.kind == RelocKind::kImm32) {
+        CRS_ENSURE(rel.offset + 4 <= bytes.size(), "relocation out of range");
+        std::uint32_t v = 0;
+        for (int i = 3; i >= 0; --i) v = (v << 8) | bytes[rel.offset + static_cast<std::uint64_t>(i)];
+        v += static_cast<std::uint32_t>(delta);
+        for (int i = 0; i < 4; ++i)
+          bytes[rel.offset + static_cast<std::uint64_t>(i)] =
+              static_cast<std::uint8_t>(v >> (8 * i));
+      } else {
+        CRS_ENSURE(rel.offset + 8 <= bytes.size(), "relocation out of range");
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i) v = (v << 8) | bytes[rel.offset + static_cast<std::uint64_t>(i)];
+        v += delta;
+        for (int i = 0; i < 8; ++i)
+          bytes[rel.offset + static_cast<std::uint64_t>(i)] =
+              static_cast<std::uint8_t>(v >> (8 * i));
+      }
+    }
+    const std::uint64_t lo = seg.addr + delta;
+    mem.write_bytes(lo, bytes);
+    mem.set_permissions(lo, std::max<std::uint64_t>(bytes.size(), 1), seg.perm);
+    info.lo = std::min(info.lo, lo);
+    info.hi = std::max(info.hi, lo + bytes.size());
+  }
+
+  // Publish a fresh stack canary if the image declares one.
+  const auto canary_sym = program.symbols.find("__canary");
+  if (canary_sym != program.symbols.end()) {
+    mem.write_u64(canary_sym->second + delta, rng_.next_u64());
+  }
+
+  loaded_[path] = info;
+  load_order_.push_back(info);
+  return info;
+}
+
+void Kernel::start(const std::string& path,
+                   std::span<const std::vector<std::uint8_t>> args) {
+  const auto it = registry_.find(path);
+  CRS_ENSURE(it != registry_.end(), "start: unknown binary '" + path + "'");
+
+  output_.clear();
+  exit_code_ = 0;
+  execve_count_ = 0;
+  saved_contexts_.clear();
+  loaded_.clear();
+  load_order_.clear();
+  injected_stack_tops_.clear();
+  next_stack_top_ = machine_.memory().size();
+
+  // Carve the main stack from the top of memory (RW, not executable: DEP).
+  Memory& mem = machine_.memory();
+  const std::uint64_t stack_top = next_stack_top_;
+  const std::uint64_t stack_lo = stack_top - config_.stack_size;
+  mem.set_permissions(stack_lo, config_.stack_size, kPermRW);
+  next_stack_top_ = stack_lo - Memory::kPageSize;  // guard gap
+
+  const LoadInfo info = map_image(path, it->second);
+
+  // Marshal argv below the stack top.
+  std::uint64_t cursor = stack_top;
+  std::vector<std::uint64_t> addrs;
+  std::vector<std::uint64_t> lens;
+  for (const auto& arg : args) {
+    cursor -= arg.size();
+    cursor &= ~7ull;
+    mem.write_bytes(cursor, arg);
+    addrs.push_back(cursor);
+    lens.push_back(arg.size());
+  }
+  cursor -= 8 * args.size();
+  const std::uint64_t argv_ptrs = cursor;
+  for (std::size_t i = 0; i < addrs.size(); ++i) mem.write_u64(argv_ptrs + 8 * i, addrs[i]);
+  cursor -= 8 * args.size();
+  const std::uint64_t arg_lens = cursor;
+  for (std::size_t i = 0; i < lens.size(); ++i) mem.write_u64(arg_lens + 8 * i, lens[i]);
+  cursor &= ~15ull;
+
+  Cpu& cpu = machine_.cpu();
+  cpu.set_syscall_handler([this](Cpu& c) { return handle_syscall(c); });
+  cpu.reset(info.entry, cursor);
+  cpu.set_reg(1, args.size());
+  cpu.set_reg(2, argv_ptrs);
+  cpu.set_reg(3, arg_lens);
+}
+
+void Kernel::start_with_strings(const std::string& path,
+                                const std::vector<std::string>& args) {
+  std::vector<std::vector<std::uint8_t>> raw;
+  raw.reserve(args.size());
+  for (const auto& a : args) raw.emplace_back(a.begin(), a.end());
+  start(path, raw);
+}
+
+StopReason Kernel::run(std::uint64_t max_instructions) {
+  return machine_.cpu().run(max_instructions);
+}
+
+StopReason Kernel::run_until_cycle(std::uint64_t cycle_target,
+                                   std::uint64_t max_instructions) {
+  return machine_.cpu().run_until_cycle(cycle_target, max_instructions);
+}
+
+std::string Kernel::output_string() const {
+  return std::string(output_.begin(), output_.end());
+}
+
+const LoadInfo& Kernel::main_image() const {
+  CRS_ENSURE(!load_order_.empty(), "no image loaded");
+  return load_order_.front();
+}
+
+std::uint64_t Kernel::resolved_symbol(const std::string& path,
+                                      const std::string& label) const {
+  const auto li = loaded_.find(path);
+  CRS_ENSURE(li != loaded_.end(), "image '" + path + "' is not mapped");
+  const auto pi = registry_.find(path);
+  CRS_ENSURE(pi != registry_.end(), "image '" + path + "' is not registered");
+  return pi->second.symbol(label) + li->second.base_delta;
+}
+
+SyscallOutcome Kernel::handle_syscall(Cpu& cpu) {
+  const std::uint64_t number = cpu.reg(0);
+  switch (number) {
+    case kSysExit: {
+      if (!saved_contexts_.empty()) {
+        // The injected binary finished: resume the host behind the syscall
+        // gadget, exactly as the ROP chain laid it out.
+        const SavedContext ctx = saved_contexts_.back();
+        saved_contexts_.pop_back();
+        for (int r = 0; r < isa::kNumRegisters; ++r) cpu.set_reg(r, ctx.regs[r]);
+        cpu.set_pc(ctx.pc);
+        return SyscallOutcome::kContinue;
+      }
+      exit_code_ = static_cast<std::int64_t>(cpu.reg(1));
+      return SyscallOutcome::kHalt;
+    }
+    case kSysWrite: {
+      const std::uint64_t addr = cpu.reg(2);
+      const std::uint64_t len = cpu.reg(3);
+      if (len > kMaxWriteLen ||
+          !machine_.memory().check(addr, std::max<std::uint64_t>(len, 1),
+                                   AccessKind::kRead)) {
+        cpu.set_reg(0, static_cast<std::uint64_t>(-1));
+        return SyscallOutcome::kContinue;
+      }
+      const auto bytes = machine_.memory().read_bytes(addr, len);
+      output_.insert(output_.end(), bytes.begin(), bytes.end());
+      cpu.set_reg(0, len);
+      return SyscallOutcome::kContinue;
+    }
+    case kSysExecve:
+      return do_execve(cpu);
+    case kSysGetRandom: {
+      const std::uint64_t addr = cpu.reg(1);
+      const std::uint64_t len = cpu.reg(2);
+      if (!machine_.memory().check(addr, std::max<std::uint64_t>(len, 1),
+                                   AccessKind::kWrite)) {
+        cpu.set_reg(0, static_cast<std::uint64_t>(-1));
+        return SyscallOutcome::kContinue;
+      }
+      for (std::uint64_t i = 0; i < len; ++i) {
+        machine_.memory().write_u8(addr + i,
+                                   static_cast<std::uint8_t>(rng_.next_u64()));
+      }
+      cpu.set_reg(0, len);
+      return SyscallOutcome::kContinue;
+    }
+    case kSysAbort:
+      cpu.raise_fault(FaultKind::kStackCanary, cpu.sp());
+      return SyscallOutcome::kHalt;
+    default:
+      cpu.set_reg(0, static_cast<std::uint64_t>(-1));  // ENOSYS
+      return SyscallOutcome::kContinue;
+  }
+}
+
+SyscallOutcome Kernel::do_execve(Cpu& cpu) {
+  // Read the NUL-terminated path.
+  const std::uint64_t path_addr = cpu.reg(1);
+  std::string path;
+  for (std::uint64_t i = 0; i < kMaxPathLen; ++i) {
+    if (!machine_.memory().check(path_addr + i, 1, AccessKind::kRead)) break;
+    const char c = static_cast<char>(machine_.memory().read_u8(path_addr + i));
+    if (c == '\0') break;
+    path.push_back(c);
+  }
+
+  const auto it = registry_.find(path);
+  if (it == registry_.end() ||
+      static_cast<int>(saved_contexts_.size()) >= config_.max_execve_depth) {
+    cpu.set_reg(0, static_cast<std::uint64_t>(-1));
+    return SyscallOutcome::kContinue;
+  }
+
+  LoadInfo info;
+  const auto already = loaded_.find(path);
+  if (already == loaded_.end()) {
+    // First spawn: carve a stack for the injected image, then map it.
+    const std::uint64_t stack_top = next_stack_top_;
+    const std::uint64_t stack_lo = stack_top - config_.stack_size;
+    machine_.memory().set_permissions(stack_lo, config_.stack_size, kPermRW);
+    next_stack_top_ = stack_lo - Memory::kPageSize;
+    info = map_image(path, it->second);
+    injected_stack_tops_[path] = stack_top;
+  } else {
+    // Re-spawn (or self-execve of an already-mapped image): rewrite the
+    // image so its data segments are pristine, and make sure an injected
+    // stack exists — the main binary was started on the primary stack.
+    if (injected_stack_tops_.find(path) == injected_stack_tops_.end()) {
+      const std::uint64_t stack_top = next_stack_top_;
+      const std::uint64_t stack_lo = stack_top - config_.stack_size;
+      machine_.memory().set_permissions(stack_lo, config_.stack_size,
+                                        kPermRW);
+      next_stack_top_ = stack_lo - Memory::kPageSize;
+      injected_stack_tops_[path] = stack_top;
+    }
+    info = already->second;
+    Memory& mem = machine_.memory();
+    const Program& program = it->second;
+    for (std::size_t si = 0; si < program.segments.size(); ++si) {
+      const Segment& seg = program.segments[si];
+      std::vector<std::uint8_t> bytes = seg.bytes;
+      for (const Relocation& rel : program.relocations) {
+        if (rel.segment != si) continue;
+        const int width = rel.kind == RelocKind::kImm32 ? 4 : 8;
+        std::uint64_t v = 0;
+        for (int i = width - 1; i >= 0; --i)
+          v = (v << 8) | bytes[rel.offset + static_cast<std::uint64_t>(i)];
+        v += info.base_delta;
+        for (int i = 0; i < width; ++i)
+          bytes[rel.offset + static_cast<std::uint64_t>(i)] =
+              static_cast<std::uint8_t>(v >> (8 * i));
+      }
+      mem.write_bytes(seg.addr + info.base_delta, bytes);
+    }
+  }
+
+  SavedContext ctx;
+  for (int r = 0; r < isa::kNumRegisters; ++r) ctx.regs[r] = cpu.reg(r);
+  ctx.pc = cpu.pc();  // already past the syscall: the gadget's ret
+  saved_contexts_.push_back(ctx);
+  ++execve_count_;
+
+  for (int r = 0; r < isa::kNumRegisters; ++r) cpu.set_reg(r, 0);
+  cpu.set_sp(injected_stack_tops_.at(path) - 64);
+  cpu.set_pc(info.entry);
+  return SyscallOutcome::kContinue;
+}
+
+}  // namespace crs::sim

@@ -1,0 +1,166 @@
+// Minimal kernel: process loading, argv marshalling, and syscalls.
+//
+// Models just enough OS for the paper's threat model:
+//  - A loader that maps program segments with W^X permissions (DEP) and,
+//    optionally, at an ASLR-randomised base using the image's relocations.
+//  - argv passed on the stack; the *byte length* of each argument is
+//    attacker-controlled, which is what the host's vulnerable
+//    `read_input` copies without bounds checking (paper Algorithm 1).
+//  - SYS_EXECVE with spawn-in-process semantics: the named binary is mapped
+//    into the SAME address space and runs on the same core (shared caches,
+//    predictor and PMU); when it exits the host continues behind the
+//    syscall site. This matches the paper's setting — the attack executes
+//    "under the umbrella of the host", the HID attributes all events to the
+//    whitelisted host process, and the host completes its work so the IPC
+//    overhead comparison of Table I is meaningful.
+//  - A random per-process stack canary value published at the `__canary`
+//    symbol (when the program defines one) and SYS_ABORT, which the
+//    canary-checking epilogue uses to kill the process on corruption.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/cpu.hpp"
+#include "sim/program.hpp"
+#include "support/rng.hpp"
+
+namespace crs::sim {
+
+/// Syscall numbers (in r0; args in r1..r3; result in r0).
+enum Syscall : std::uint64_t {
+  kSysExit = 0,       ///< r1 = exit code
+  kSysWrite = 1,      ///< r1 = fd (ignored), r2 = addr, r3 = len
+  kSysExecve = 2,     ///< r1 = address of NUL-terminated path string
+  kSysGetRandom = 3,  ///< r1 = addr, r2 = len
+  kSysAbort = 4,      ///< canary-check failure: fault + kill
+};
+
+struct MachineConfig {
+  std::uint64_t memory_size = 16 * 1024 * 1024;
+  HierarchyConfig hierarchy;
+  PredictorConfig predictor;
+  CpuConfig cpu;
+};
+
+/// Bundles the hardware: memory, caches, predictor, PMU and core.
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = {});
+
+  Memory& memory() { return memory_; }
+  MemoryHierarchy& hierarchy() { return hierarchy_; }
+  BranchPredictor& predictor() { return predictor_; }
+  Pmu& pmu() { return pmu_; }
+  Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  MachineConfig config_;
+  Memory memory_;
+  MemoryHierarchy hierarchy_;
+  BranchPredictor predictor_;
+  Pmu pmu_;
+  Cpu cpu_;
+};
+
+struct KernelConfig {
+  /// Stack region size for the initial process and for each execve'd image.
+  std::uint64_t stack_size = 256 * 1024;
+  /// Randomise image bases (page-aligned) within [0, aslr_range).
+  bool aslr = false;
+  std::uint64_t aslr_range = 4 * 1024 * 1024;
+  std::uint64_t seed = 0xC0FFEE;
+  /// Maximum nested execve depth (the CR-Spectre chain needs 1).
+  int max_execve_depth = 2;
+};
+
+/// Result of mapping one binary.
+struct LoadInfo {
+  std::string path;
+  std::uint64_t base_delta = 0;  ///< load base − link base
+  std::uint64_t entry = 0;       ///< resolved entry address
+  std::uint64_t lo = 0;          ///< lowest mapped address
+  std::uint64_t hi = 0;          ///< highest mapped address (exclusive)
+};
+
+class Kernel {
+ public:
+  Kernel(Machine& machine, const KernelConfig& config = {});
+
+  /// Registers a binary under a filesystem-like path for execve lookup.
+  void register_binary(const std::string& path, Program program);
+  bool has_binary(const std::string& path) const;
+
+  /// Loads `path`, marshals argv, installs the syscall handler and resets
+  /// the CPU at the program entry. Args are raw byte strings; their
+  /// addresses land in an argv array and their lengths in a parallel array
+  /// (r1 = argc, r2 = argv pointers, r3 = arg lengths).
+  void start(const std::string& path,
+             std::span<const std::vector<std::uint8_t>> args = {});
+
+  /// Convenience: args as strings.
+  void start_with_strings(const std::string& path,
+                          const std::vector<std::string>& args);
+
+  StopReason run(std::uint64_t max_instructions);
+  StopReason run_until_cycle(std::uint64_t cycle_target,
+                             std::uint64_t max_instructions);
+
+  /// Byte stream written via SYS_WRITE since start().
+  const std::vector<std::uint8_t>& output() const { return output_; }
+  std::string output_string() const;
+
+  std::int64_t exit_code() const { return exit_code_; }
+
+  /// Number of successful SYS_EXECVE spawns since start().
+  int execve_count() const { return execve_count_; }
+
+  /// True while an execve'd (injected) image is running — ground truth for
+  /// labelling profile windows; never visible to the detector.
+  bool in_injected_binary() const { return !saved_contexts_.empty(); }
+
+  /// Load info of the binary started via start().
+  const LoadInfo& main_image() const;
+
+  /// Resolved (post-ASLR) address of `label` in the image loaded from
+  /// `path` (must already be mapped).
+  std::uint64_t resolved_symbol(const std::string& path,
+                                const std::string& label) const;
+
+  Machine& machine() { return machine_; }
+  const KernelConfig& config() const { return config_; }
+
+ private:
+  struct SavedContext {
+    std::uint64_t regs[isa::kNumRegisters];
+    std::uint64_t pc;
+  };
+
+  LoadInfo map_image(const std::string& path, const Program& program);
+  SyscallOutcome handle_syscall(Cpu& cpu);
+  SyscallOutcome do_execve(Cpu& cpu);
+
+  Machine& machine_;
+  KernelConfig config_;
+  Rng rng_;
+
+  std::map<std::string, Program> registry_;
+  std::map<std::string, LoadInfo> loaded_;  // path → where it landed
+  std::vector<LoadInfo> load_order_;
+
+  std::uint64_t next_stack_top_ = 0;  // stacks carved from the top of memory
+  std::map<std::string, std::uint64_t> injected_stack_tops_;
+  std::vector<SavedContext> saved_contexts_;
+  std::vector<std::uint8_t> output_;
+  std::int64_t exit_code_ = 0;
+  int execve_count_ = 0;
+};
+
+}  // namespace crs::sim

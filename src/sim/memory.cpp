@@ -1,0 +1,97 @@
+#include "sim/memory.hpp"
+
+#include "support/error.hpp"
+
+namespace crs::sim {
+
+Memory::Memory(std::uint64_t size_bytes) {
+  CRS_ENSURE(size_bytes > 0, "memory size must be positive");
+  const std::uint64_t pages = (size_bytes + kPageSize - 1) / kPageSize;
+  bytes_.resize(pages * kPageSize, 0);
+  perms_.resize(pages, kPermNone);
+}
+
+void Memory::set_permissions(std::uint64_t addr, std::uint64_t len,
+                             Perm perm) {
+  CRS_ENSURE(len > 0, "set_permissions with zero length");
+  CRS_ENSURE(addr + len <= size(), "set_permissions out of range");
+  const std::uint64_t first = addr / kPageSize;
+  const std::uint64_t last = (addr + len - 1) / kPageSize;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    perms_[p] = static_cast<std::uint8_t>(perm);
+  }
+}
+
+Perm Memory::permissions_at(std::uint64_t addr) const {
+  if (addr >= size()) return kPermNone;
+  return static_cast<Perm>(perms_[addr / kPageSize]);
+}
+
+bool Memory::check(std::uint64_t addr, std::uint64_t len,
+                   AccessKind kind) const {
+  if (len == 0 || addr >= size() || size() - addr < len) return false;
+  std::uint8_t needed = 0;
+  switch (kind) {
+    case AccessKind::kRead:
+      needed = kPermRead;
+      break;
+    case AccessKind::kWrite:
+      needed = kPermWrite;
+      break;
+    case AccessKind::kExecute:
+      needed = kPermExec;
+      break;
+  }
+  const std::uint64_t first = addr / kPageSize;
+  const std::uint64_t last = (addr + len - 1) / kPageSize;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    if ((perms_[p] & needed) == 0) return false;
+  }
+  return true;
+}
+
+std::uint8_t Memory::read_u8(std::uint64_t addr) const {
+  CRS_ENSURE(addr < size(), "read_u8 out of range");
+  return bytes_[addr];
+}
+
+std::uint64_t Memory::read_u64(std::uint64_t addr) const {
+  CRS_ENSURE(addr + 8 <= size(), "read_u64 out of range");
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | bytes_[addr + static_cast<std::uint64_t>(i)];
+  return v;
+}
+
+void Memory::write_u8(std::uint64_t addr, std::uint8_t value) {
+  CRS_ENSURE(addr < size(), "write_u8 out of range");
+  bytes_[addr] = value;
+}
+
+void Memory::write_u64(std::uint64_t addr, std::uint64_t value) {
+  CRS_ENSURE(addr + 8 <= size(), "write_u64 out of range");
+  for (int i = 0; i < 8; ++i) {
+    bytes_[addr + static_cast<std::uint64_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+void Memory::write_bytes(std::uint64_t addr,
+                         std::span<const std::uint8_t> data) {
+  CRS_ENSURE(addr + data.size() <= size(), "write_bytes out of range");
+  for (std::size_t i = 0; i < data.size(); ++i) bytes_[addr + i] = data[i];
+}
+
+std::span<const std::uint8_t> Memory::read_span(std::uint64_t addr,
+                                                std::uint64_t len) const {
+  CRS_ENSURE(addr + len <= size(), "read_span out of range");
+  return std::span<const std::uint8_t>(bytes_).subspan(addr, len);
+}
+
+std::vector<std::uint8_t> Memory::read_bytes(std::uint64_t addr,
+                                             std::uint64_t len) const {
+  CRS_ENSURE(addr + len <= size(), "read_bytes out of range");
+  return std::vector<std::uint8_t>(bytes_.begin() + static_cast<std::ptrdiff_t>(addr),
+                                   bytes_.begin() + static_cast<std::ptrdiff_t>(addr + len));
+}
+
+}  // namespace crs::sim

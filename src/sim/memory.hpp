@@ -1,0 +1,75 @@
+// Byte-addressable simulated physical memory with per-page permissions.
+//
+// Page permissions model the defenses the paper's ROP chain must respect:
+// Data Execution Prevention (stack/heap writable but not executable, code
+// executable but not writable). The gadget scanner only scans executable
+// pages; the CPU faults on any fetch from a non-executable page, so a naive
+// "write shellcode to the stack" attack fails while the ROP chain succeeds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace crs::sim {
+
+/// Page permission bitmask.
+enum Perm : std::uint8_t {
+  kPermNone = 0,
+  kPermRead = 1,
+  kPermWrite = 2,
+  kPermExec = 4,
+  kPermRW = kPermRead | kPermWrite,
+  kPermRX = kPermRead | kPermExec,
+};
+
+enum class AccessKind { kRead, kWrite, kExecute };
+
+class Memory {
+ public:
+  static constexpr std::uint64_t kPageSize = 4096;
+
+  /// Size is rounded up to a whole number of pages. Pages start with no
+  /// permissions; mapping regions is the loader's job.
+  explicit Memory(std::uint64_t size_bytes);
+
+  std::uint64_t size() const { return bytes_.size(); }
+  std::uint64_t page_count() const { return perms_.size(); }
+
+  /// Sets permissions for every page overlapping [addr, addr+len).
+  void set_permissions(std::uint64_t addr, std::uint64_t len, Perm perm);
+
+  /// Permissions of the page containing `addr` (kPermNone out of range).
+  Perm permissions_at(std::uint64_t addr) const;
+
+  /// True when every byte of [addr, addr+len) is in range and its page
+  /// grants the given access.
+  bool check(std::uint64_t addr, std::uint64_t len, AccessKind kind) const;
+
+  // Raw accessors. Bounds are enforced (crs::Error on violation) but
+  // permissions are NOT: the CPU checks permissions and models faults;
+  // the loader and the test harness bypass them deliberately.
+  std::uint8_t read_u8(std::uint64_t addr) const;
+  std::uint64_t read_u64(std::uint64_t addr) const;
+  void write_u8(std::uint64_t addr, std::uint8_t value);
+  void write_u64(std::uint64_t addr, std::uint64_t value);
+
+  void write_bytes(std::uint64_t addr, std::span<const std::uint8_t> data);
+  std::vector<std::uint8_t> read_bytes(std::uint64_t addr,
+                                       std::uint64_t len) const;
+
+  /// Zero-copy view of [addr, addr+len); valid until the Memory is
+  /// destroyed (the backing store never reallocates). Used on the
+  /// instruction-fetch fast path.
+  std::span<const std::uint8_t> read_span(std::uint64_t addr,
+                                          std::uint64_t len) const;
+
+  /// Read-only view of the raw backing store (used by the gadget scanner).
+  std::span<const std::uint8_t> raw() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint8_t> perms_;  // one Perm byte per page
+};
+
+}  // namespace crs::sim

@@ -1,0 +1,61 @@
+#include "sim/pmu.hpp"
+
+#include "support/error.hpp"
+
+namespace crs::sim {
+
+PmuSnapshot delta(const PmuSnapshot& before, const PmuSnapshot& after) {
+  PmuSnapshot out{};
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    CRS_ENSURE(after[i] >= before[i], "PMU counters must be monotonic");
+    out[i] = after[i] - before[i];
+  }
+  return out;
+}
+
+std::string_view event_name(Event e) {
+  static constexpr std::string_view kNames[] = {
+      "cycles",
+      "instructions",
+      "spec_instructions",
+      "loads",
+      "stores",
+      "l1d_accesses",
+      "l1d_misses",
+      "l1i_accesses",
+      "l1i_misses",
+      "l2_accesses",
+      "l2_misses",
+      "branches",
+      "branch_mispredicts",
+      "taken_branches",
+      "indirect_jumps",
+      "calls",
+      "returns",
+      "rsb_mispredicts",
+      "spec_loads",
+      "clflushes",
+      "mfences",
+      "syscalls",
+      "stack_ops",
+      "alu_ops",
+  };
+  static_assert(std::size(kNames) == kEventCount);
+  const auto idx = static_cast<std::size_t>(e);
+  CRS_ENSURE(idx < kEventCount, "event out of range");
+  return kNames[idx];
+}
+
+std::uint64_t derived_total_cache_misses(const PmuSnapshot& s) {
+  return s[static_cast<std::size_t>(Event::kL1dMisses)] +
+         s[static_cast<std::size_t>(Event::kL1iMisses)] +
+         s[static_cast<std::size_t>(Event::kL2Misses)];
+}
+
+std::uint64_t derived_total_cache_accesses(const PmuSnapshot& s) {
+  return s[static_cast<std::size_t>(Event::kL1dAccesses)] +
+         s[static_cast<std::size_t>(Event::kL1iAccesses)] +
+         s[static_cast<std::size_t>(Event::kL2Accesses)];
+}
+
+}  // namespace crs::sim

@@ -1,0 +1,19 @@
+#include "sim/program.hpp"
+
+#include "support/error.hpp"
+
+namespace crs::sim {
+
+std::uint64_t Program::symbol(const std::string& label) const {
+  const auto it = symbols.find(label);
+  CRS_ENSURE(it != symbols.end(), "unknown symbol '" + label + "' in program '" + name + "'");
+  return it->second;
+}
+
+std::uint64_t Program::image_size() const {
+  std::uint64_t total = 0;
+  for (const auto& seg : segments) total += seg.bytes.size();
+  return total;
+}
+
+}  // namespace crs::sim

@@ -1,0 +1,54 @@
+// Linked program image: what the assembler produces and the kernel loads.
+//
+// A Program is position-linked at `link_base` but carries relocation records
+// for every absolute address it embeds (branch/call targets, address
+// immediates, `.word label` data), so the loader can rebase it — this is
+// what makes the ASLR defense model real: under ASLR the whole image shifts
+// and a ROP payload built against link-time addresses faults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/memory.hpp"
+
+namespace crs::sim {
+
+struct Segment {
+  std::string name;               ///< ".text", ".data", ".lib", ...
+  std::uint64_t addr = 0;         ///< link-time start address
+  std::vector<std::uint8_t> bytes;
+  Perm perm = kPermRead;
+};
+
+/// Where inside a segment an absolute address is embedded.
+enum class RelocKind : std::uint8_t {
+  kImm32,   ///< 32-bit immediate field of an instruction (offset points at it)
+  kWord64,  ///< 64-bit data word
+};
+
+struct Relocation {
+  std::size_t segment = 0;  ///< index into Program::segments
+  std::uint64_t offset = 0; ///< byte offset of the field inside the segment
+  RelocKind kind = RelocKind::kImm32;
+};
+
+struct Program {
+  std::string name;
+  std::uint64_t link_base = 0;
+  std::uint64_t entry = 0;  ///< link-time entry address
+  std::vector<Segment> segments;
+  std::vector<Relocation> relocations;
+  /// Label → link-time address (functions, data objects, gadget anchors).
+  std::map<std::string, std::uint64_t> symbols;
+
+  /// Link-time address of `label`; throws crs::Error when missing.
+  std::uint64_t symbol(const std::string& label) const;
+
+  /// Total image size in bytes (sum of segments).
+  std::uint64_t image_size() const;
+};
+
+}  // namespace crs::sim

@@ -1,0 +1,36 @@
+// Error handling helpers shared across the CR-Spectre reproduction.
+//
+// The library throws `crs::Error` (a std::runtime_error) for all
+// precondition and invariant violations so callers can distinguish library
+// failures from standard-library exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace crs {
+
+/// Exception type thrown by all crs libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* file, int line, const char* expr,
+                               const std::string& msg) {
+  std::string out = std::string(file) + ":" + std::to_string(line) +
+                    ": check failed: " + expr;
+  if (!msg.empty()) out += " — " + msg;
+  throw Error(out);
+}
+}  // namespace detail
+
+}  // namespace crs
+
+/// Throws crs::Error when `cond` is false. Always enabled (not tied to
+/// NDEBUG) because the simulator relies on these checks to model faults.
+#define CRS_ENSURE(cond, msg)                                   \
+  do {                                                          \
+    if (!(cond)) ::crs::detail::raise(__FILE__, __LINE__, #cond, (msg)); \
+  } while (false)

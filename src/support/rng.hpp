@@ -1,0 +1,64 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the reproduction (ML weight init, dataset
+// shuffles, workload input generation, ASLR offsets, HPC measurement noise)
+// draws from an explicitly seeded `crs::Rng` so that experiments are
+// reproducible bit-for-bit across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace crs {
+
+/// xoshiro256** generator seeded via SplitMix64. Deterministic and
+/// platform-independent (unlike std::uniform_* distributions, whose output
+/// is not pinned by the standard).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double next_gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double next_gaussian(double mean, double stddev);
+
+  /// True with probability `p`.
+  bool next_bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent generator (for parallel or per-component use).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace crs

@@ -1,0 +1,39 @@
+// String helpers shared by the assembler, disassembler and bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crs {
+
+/// Splits on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace, dropping empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+std::string to_lower(std::string_view s);
+
+/// Formats `v` as 0x-prefixed lowercase hex.
+std::string hex(std::uint64_t v);
+
+/// Fixed-point decimal with `digits` fractional digits (bench tables).
+std::string fixed(double v, int digits);
+
+/// Left-pads `s` with spaces to `width`.
+std::string pad_left(std::string_view s, std::size_t width);
+
+/// Right-pads `s` with spaces to `width`.
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// Parses a signed 64-bit integer supporting decimal, 0x-hex, and a leading
+/// '-'. Returns false on any trailing garbage.
+bool parse_int(std::string_view s, std::int64_t& out);
+
+}  // namespace crs

@@ -1,0 +1,44 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/strings.hpp"
+
+namespace crs {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string();
+      out += pad_right(cell, widths[c]);
+      if (c + 1 < header_.size()) out += " | ";
+    }
+    out += '\n';
+  };
+
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out.append(widths[c], '-');
+    if (c + 1 < header_.size()) out += "-+-";
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace crs

@@ -1,0 +1,31 @@
+// ASCII table renderer used by the benchmark harnesses to print the paper's
+// tables and figure series in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace crs {
+
+/// Column-aligned ASCII table. Rows may have fewer cells than the header;
+/// missing cells render empty.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a header rule, e.g.
+  ///   Benchmark     | IPC   | Overhead
+  ///   --------------+-------+---------
+  ///   Math          | 0.912 | 0.8%
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crs

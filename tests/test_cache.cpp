@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "sim/cache.hpp"
+#include "support/error.hpp"
+
+namespace crs::sim {
+namespace {
+
+TEST(CacheLevel, MissThenHit) {
+  CacheLevel c({1024, 64, 2});
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+}
+
+TEST(CacheLevel, ProbeDoesNotFill) {
+  CacheLevel c({1024, 64, 2});
+  EXPECT_FALSE(c.probe(0));
+  EXPECT_FALSE(c.access(0));  // still a miss: probe did not fill
+  EXPECT_TRUE(c.probe(0));
+}
+
+TEST(CacheLevel, LruEvictsOldest) {
+  // 2-way, 8 sets: lines 0, 8, 16 (in line units) map to set 0.
+  CacheLevel c({1024, 64, 2});
+  const std::uint64_t way_stride = 64 * c.num_sets();
+  c.access(0);
+  c.access(way_stride);
+  c.access(0);               // 0 is now MRU
+  c.access(2 * way_stride);  // evicts way_stride
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(way_stride));
+  EXPECT_TRUE(c.probe(2 * way_stride));
+}
+
+TEST(CacheLevel, FlushLineEvicts) {
+  CacheLevel c({1024, 64, 2});
+  c.access(128);
+  EXPECT_TRUE(c.probe(128));
+  c.flush_line(130);  // same line
+  EXPECT_FALSE(c.probe(128));
+}
+
+TEST(CacheLevel, FlushMissingLineIsNoop) {
+  CacheLevel c({1024, 64, 2});
+  EXPECT_NO_THROW(c.flush_line(4096));
+}
+
+TEST(CacheLevel, ClearInvalidatesEverything) {
+  CacheLevel c({1024, 64, 2});
+  for (std::uint64_t a = 0; a < 1024; a += 64) c.access(a);
+  c.clear();
+  for (std::uint64_t a = 0; a < 1024; a += 64) EXPECT_FALSE(c.probe(a));
+}
+
+TEST(CacheLevel, RejectsBadGeometry) {
+  EXPECT_THROW(CacheLevel({1000, 60, 2}), crs::Error);
+  EXPECT_THROW(CacheLevel({1024, 64, 0}), crs::Error);
+}
+
+TEST(Hierarchy, LatenciesReflectResidence) {
+  MemoryHierarchy h;
+  const auto& t = h.timings();
+
+  const auto miss = h.access_data(0x1000);
+  EXPECT_FALSE(miss.l1_hit);
+  EXPECT_FALSE(miss.l2_hit);
+  EXPECT_EQ(miss.latency, t.memory);
+
+  const auto hit = h.access_data(0x1000);
+  EXPECT_TRUE(hit.l1_hit);
+  EXPECT_EQ(hit.latency, t.l1_hit);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  HierarchyConfig cfg;
+  cfg.l1d = {512, 64, 1};  // tiny direct-mapped L1: easy to evict
+  MemoryHierarchy h(cfg);
+  h.access_data(0);
+  h.access_data(512);  // evicts 0 from L1 (same set), both still in L2
+  const auto out = h.access_data(0);
+  EXPECT_FALSE(out.l1_hit);
+  EXPECT_TRUE(out.l2_hit);
+  EXPECT_EQ(out.latency, h.timings().l2_hit);
+}
+
+TEST(Hierarchy, FlushDataEvictsAllLevels) {
+  MemoryHierarchy h;
+  h.access_data(0x2000);
+  EXPECT_TRUE(h.l1d_resident(0x2000));
+  EXPECT_TRUE(h.l2_resident(0x2000));
+  h.flush_data(0x2000);
+  EXPECT_FALSE(h.l1d_resident(0x2000));
+  EXPECT_FALSE(h.l2_resident(0x2000));
+  const auto out = h.access_data(0x2000);
+  EXPECT_EQ(out.latency, h.timings().memory);
+}
+
+TEST(Hierarchy, FlushReloadDistinguishesTouchedLine) {
+  // The covert channel's core property: after flushing two lines and
+  // touching one, reload latency separates them.
+  MemoryHierarchy h;
+  const std::uint64_t a = 0x4000, b = 0x8000;
+  h.access_data(a);
+  h.access_data(b);
+  h.flush_data(a);
+  h.flush_data(b);
+  h.access_data(a);  // "victim" touches a
+  const auto ra = h.access_data(a);
+  const auto rb = h.access_data(b);
+  EXPECT_LT(ra.latency, rb.latency);
+}
+
+TEST(Hierarchy, FetchHitsAfterFirstAccess) {
+  MemoryHierarchy h;
+  const auto first = h.access_fetch(0x100);
+  EXPECT_FALSE(first.l1i_hit);
+  EXPECT_GT(first.latency, 0u);
+  const auto second = h.access_fetch(0x100);
+  EXPECT_TRUE(second.l1i_hit);
+  EXPECT_EQ(second.latency, h.timings().fetch_l1_hit);
+}
+
+TEST(Hierarchy, ClearResetsEverything) {
+  MemoryHierarchy h;
+  h.access_data(0x100);
+  h.access_fetch(0x100);
+  h.clear();
+  EXPECT_FALSE(h.l1d_resident(0x100));
+  EXPECT_FALSE(h.access_fetch(0x100).l1i_hit);
+}
+
+TEST(Hierarchy, DistinctLinesDoNotAlias) {
+  MemoryHierarchy h;
+  // 256 probe lines at 64-byte stride must be independently trackable
+  // (the attack's probe array).
+  for (int i = 0; i < 256; ++i) h.access_data(0x10000 + 64ull * i);
+  for (int i = 0; i < 256; ++i)
+    EXPECT_TRUE(h.l1d_resident(0x10000 + 64ull * i)) << i;
+}
+
+}  // namespace
+}  // namespace crs::sim

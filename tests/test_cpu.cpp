@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace crs {
+namespace {
+
+using sim::Event;
+using sim::FaultKind;
+using sim::StopReason;
+using test::SimHarness;
+
+TEST(Cpu, ArithmeticAndExit) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, 6\n"
+      "  movi r2, 7\n"
+      "  mul r1, r1, r2\n"
+      "  call exit_\n",
+      "/bin/t");
+  EXPECT_EQ(h.run_program("/bin/t"), StopReason::kHalted);
+  EXPECT_EQ(h.kernel().exit_code(), 42);
+}
+
+TEST(Cpu, LoopComputesSum) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, 0\n"   // sum
+      "  movi r2, 100\n" // i
+      "loop:\n"
+      "  add r1, r1, r2\n"
+      "  addi r2, r2, -1\n"
+      "  bnez r2, loop\n"
+      "  call exit_\n",
+      "/bin/t");
+  EXPECT_EQ(h.run_program("/bin/t"), StopReason::kHalted);
+  EXPECT_EQ(h.kernel().exit_code(), 5050);
+}
+
+TEST(Cpu, MemoryLoadStoreRoundTrip) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, buf\n"
+      "  movi r2, 0x1234\n"
+      "  store [r1+8], r2\n"
+      "  load r3, [r1+8]\n"
+      "  mov r1, r3\n"
+      "  call exit_\n"
+      ".data\n"
+      "buf: .space 32\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  EXPECT_EQ(h.kernel().exit_code(), 0x1234);
+}
+
+TEST(Cpu, ByteAccessIsZeroExtended) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, buf\n"
+      "  movi r2, 0x1ff\n"
+      "  storeb [r1], r2\n"   // stores 0xff
+      "  loadb r3, [r1]\n"
+      "  mov r1, r3\n"
+      "  call exit_\n"
+      ".data\n"
+      "buf: .space 8\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  EXPECT_EQ(h.kernel().exit_code(), 0xff);
+}
+
+TEST(Cpu, CallRetNestsViaStack) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, 1\n"
+      "  call f\n"
+      "  call exit_\n"
+      "f:\n"
+      "  addi r1, r1, 10\n"
+      "  call g\n"
+      "  addi r1, r1, 100\n"
+      "  ret\n"
+      "g:\n"
+      "  addi r1, r1, 1000\n"
+      "  ret\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  EXPECT_EQ(h.kernel().exit_code(), 1111);
+}
+
+TEST(Cpu, PushPopRestoresValues) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, 5\n"
+      "  movi r2, 9\n"
+      "  push r1\n"
+      "  push r2\n"
+      "  pop r3\n"
+      "  pop r4\n"
+      "  sub r1, r3, r4\n"  // 9 - 5
+      "  call exit_\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  EXPECT_EQ(h.kernel().exit_code(), 4);
+}
+
+TEST(Cpu, ComparisonsAndSignedArithmetic) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, -5\n"
+      "  movi r2, 3\n"
+      "  cmplt r3, r1, r2\n"   // signed: 1
+      "  cmpltu r4, r1, r2\n"  // unsigned: 0 (-5 wraps huge)
+      "  shli r3, r3, 1\n"
+      "  add r1, r3, r4\n"     // 2
+      "  call exit_\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  EXPECT_EQ(h.kernel().exit_code(), 2);
+}
+
+TEST(Cpu, DivideByZeroYieldsAllOnesNotFault) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, 9\n"
+      "  movi r2, 0\n"
+      "  divu r3, r1, r2\n"
+      "  cmpeq r4, r3, r2\n"  // r3 == 0? no
+      "  movi r1, 1\n"
+      "  call exit_\n",
+      "/bin/t");
+  EXPECT_EQ(h.run_program("/bin/t"), StopReason::kHalted);
+}
+
+TEST(Cpu, IndirectJumpGoesThroughRegister) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r4, target\n"
+      "  jmpr r4\n"
+      "  movi r1, 1\n"  // skipped
+      "  call exit_\n"
+      "target:\n"
+      "  movi r1, 77\n"
+      "  call exit_\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  EXPECT_EQ(h.kernel().exit_code(), 77);
+}
+
+TEST(Cpu, DepBlocksExecutionFromStack) {
+  // Write code bytes to the stack and jump there: fetch permission fault.
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  mov r4, sp\n"
+      "  addi r4, r4, -64\n"
+      "  movi r5, 1\n"        // halt opcode byte
+      "  storeb [r4], r5\n"
+      "  jmpr r4\n",
+      "/bin/t");
+  EXPECT_EQ(h.run_program("/bin/t"), StopReason::kFault);
+  EXPECT_EQ(h.machine().cpu().fault().kind, FaultKind::kFetchPermission);
+}
+
+TEST(Cpu, WriteToCodePageFaults) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r4, _start\n"
+      "  movi r5, 0\n"
+      "  store [r4], r5\n"
+      "  halt\n",
+      "/bin/t");
+  EXPECT_EQ(h.run_program("/bin/t"), StopReason::kFault);
+  EXPECT_EQ(h.machine().cpu().fault().kind, FaultKind::kWritePermission);
+}
+
+TEST(Cpu, ReadFromUnmappedFaults) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r4, 0x1000\n"  // below the image, unmapped
+      "  load r5, [r4]\n"
+      "  halt\n",
+      "/bin/t");
+  EXPECT_EQ(h.run_program("/bin/t"), StopReason::kFault);
+  EXPECT_EQ(h.machine().cpu().fault().kind, FaultKind::kReadPermission);
+}
+
+TEST(Cpu, RdcycleIsMonotonic) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  rdcycle r4\n"
+      "  nop\n"
+      "  nop\n"
+      "  rdcycle r5\n"
+      "  cmplt r1, r4, r5\n"  // strictly increasing
+      "  call exit_\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  EXPECT_EQ(h.kernel().exit_code(), 1);
+}
+
+TEST(Cpu, RdcycleMfenceMeasuresLoadLatency) {
+  // Timing a flushed load vs a cached load must show a gap — the covert
+  // channel's receiver primitive.
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r4, buf\n"
+      "  load r5, [r4]\n"      // warm the line
+      "  mfence\n"
+      "  rdcycle r6\n"
+      "  load r5, [r4]\n"
+      "  mov r7, r5\n"         // dependency
+      "  mfence\n"
+      "  rdcycle r8\n"
+      "  sub r9, r8, r6\n"     // hit time
+      "  clflush [r4]\n"
+      "  mfence\n"
+      "  rdcycle r6\n"
+      "  load r5, [r4]\n"
+      "  mov r7, r5\n"
+      "  mfence\n"
+      "  rdcycle r8\n"
+      "  sub r10, r8, r6\n"    // miss time
+      "  cmplt r1, r9, r10\n"
+      "  call exit_\n"
+      ".data\n"
+      ".align 64\n"
+      "buf: .space 64\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  EXPECT_EQ(h.kernel().exit_code(), 1) << "miss must take longer than hit";
+}
+
+TEST(Cpu, PmuCountsRetiredInstructionClasses) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, 4\n"
+      "loop:\n"
+      "  addi r1, r1, -1\n"
+      "  bnez r1, loop\n"
+      "  movi r4, buf\n"
+      "  load r5, [r4]\n"
+      "  store [r4], r5\n"
+      "  clflush [r4]\n"
+      "  mfence\n"
+      "  halt\n"
+      ".data\n"
+      "buf: .space 8\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  const auto& pmu = h.machine().pmu();
+  EXPECT_EQ(pmu.count(Event::kBranches), 4u);
+  EXPECT_EQ(pmu.count(Event::kTakenBranches), 3u);
+  EXPECT_EQ(pmu.count(Event::kClflushes), 1u);
+  EXPECT_EQ(pmu.count(Event::kMfences), 1u);
+  EXPECT_GE(pmu.count(Event::kLoads), 1u);
+  EXPECT_GE(pmu.count(Event::kStores), 1u);
+  EXPECT_GT(pmu.count(Event::kInstructions), 10u);
+  EXPECT_GE(pmu.count(Event::kCycles), pmu.count(Event::kInstructions));
+}
+
+TEST(Cpu, BranchMispredictsCountedOnPatternChange) {
+  SimHarness h;
+  // Branch taken 20 times then falls through: at least one mispredict at
+  // the exit, and early training mispredicts while counters saturate.
+  h.add_program(
+      "_start:\n"
+      "  movi r1, 20\n"
+      "loop:\n"
+      "  addi r1, r1, -1\n"
+      "  bnez r1, loop\n"
+      "  halt\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  const auto& pmu = h.machine().pmu();
+  EXPECT_GE(pmu.count(Event::kBranchMispredicts), 1u);
+  EXPECT_LE(pmu.count(Event::kBranchMispredicts), 4u);
+}
+
+TEST(Cpu, RuntimeMemcpyCopiesBytes) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, dst\n"
+      "  movi r2, src\n"
+      "  movi r3, 5\n"
+      "  call memcpy\n"
+      "  movi r4, dst\n"
+      "  loadb r1, [r4+4]\n"
+      "  call exit_\n"
+      ".data\n"
+      "src: .ascii \"HELLO\"\n"
+      "dst: .space 8\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  EXPECT_EQ(h.kernel().exit_code(), 'O');
+}
+
+TEST(Cpu, RuntimeStrlenAndPrint) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r1, msg\n"
+      "  movi r2, 3\n"
+      "  call print\n"
+      "  movi r1, 0\n"
+      "  call exit_\n"
+      ".data\n"
+      "msg: .asciz \"hey\"\n",
+      "/bin/t");
+  h.run_program("/bin/t");
+  EXPECT_EQ(h.kernel().output_string(), "hey");
+}
+
+TEST(Cpu, RobClampMakesDependentChainsPayTheirLatency) {
+  // A dependent pointer chase cannot hide behind infinite memory-level
+  // parallelism: with the ROB window bound, CPI approaches the memory
+  // latency divided by the loop length.
+  test::SimHarness h;
+  h.add_program(
+      "_start:\n"
+      // ring of 8192 nodes x 64B = 512 KiB: every hop misses L2
+      "  movi r13, 0\n"
+      "build:\n"
+      "  addi r5, r13, 999\n"
+      "  movi r6, 8192\n"
+      "  remu r5, r5, r6\n"
+      "  shli r5, r5, 6\n"
+      "  movi r6, nodes\n"
+      "  add r5, r6, r5\n"
+      "  shli r7, r13, 6\n"
+      "  add r7, r6, r7\n"
+      "  store [r7], r5\n"
+      "  addi r13, r13, 1\n"
+      "  movi r7, 8192\n"
+      "  cmplt r7, r13, r7\n"
+      "  bnez r7, build\n"
+      "  rdcycle r10\n"
+      "  movi r5, nodes\n"
+      "  movi r13, 20000\n"
+      "chase:\n"
+      "  load r5, [r5]\n"
+      "  addi r13, r13, -1\n"
+      "  bnez r13, chase\n"
+      "  mfence\n"
+      "  rdcycle r11\n"
+      "  sub r1, r11, r10\n"
+      "  movi r2, 20000\n"
+      "  divu r1, r1, r2\n"   // cycles per hop
+      "  call exit_\n"
+      ".data\n.align 64\nnodes: .space 524288\n",
+      "/bin/t");
+  ASSERT_EQ(h.run_program("/bin/t", {}, 500'000'000), StopReason::kHalted);
+  const auto per_hop = h.kernel().exit_code();
+  // Memory latency is 120 and the loop is 3 instructions: per-hop cost
+  // must be latency-bound (not 3 cycles of pure throughput).
+  EXPECT_GE(per_hop, 100);
+  EXPECT_LE(per_hop, 140);
+}
+
+TEST(Cpu, DependentDivChainDrainsIntoClockWithoutFence) {
+  // The prime+probe receiver's "latency amplifier": a dependent divide
+  // chain after a slow load pushes the load's completion time into the
+  // cycle counter via the ROB clamp — no mfence needed.
+  test::SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "  movi r4, buf\n"
+      "  load r5, [r4]\n"     // warm
+      "  clflush [r4]\n"
+      "  rdcycle r10\n"
+      "  load r5, [r4]\n"     // memory miss: ready += 120
+      "  movi r6, 1\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  divu r5, r5, r6\n"
+      "  rdcycle r11\n"
+      "  sub r1, r11, r10\n"
+      "  call exit_\n"
+      ".data\n.align 64\nbuf: .space 64\n",
+      "/bin/t");
+  ASSERT_EQ(h.run_program("/bin/t"), StopReason::kHalted);
+  // 120 (miss) + 240 (divs) - 192 (ROB window) = 168 minimum.
+  EXPECT_GE(h.kernel().exit_code(), 150);
+}
+
+TEST(Cpu, InstructionLimitStopsRunawayLoop) {
+  SimHarness h;
+  h.add_program("_start:\n  jmp _start\n", "/bin/t");
+  EXPECT_EQ(h.run_program("/bin/t", {}, 1000), StopReason::kInstructionLimit);
+}
+
+TEST(Cpu, RunUntilCycleStopsAtTarget) {
+  SimHarness h;
+  h.add_program(
+      "_start:\n"
+      "loop: addi r1, r1, 1\n"
+      "  jmp loop\n",
+      "/bin/t");
+  h.kernel().start_with_strings("/bin/t", {});
+  const auto reason = h.kernel().run_until_cycle(500, 1'000'000);
+  EXPECT_EQ(reason, StopReason::kCycleLimit);
+  EXPECT_GE(h.machine().cpu().cycle(), 500u);
+  EXPECT_LT(h.machine().cpu().cycle(), 700u);
+}
+
+}  // namespace
+}  // namespace crs

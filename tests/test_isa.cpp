@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+
+namespace crs::isa {
+namespace {
+
+std::vector<Opcode> all_opcodes() {
+  std::vector<Opcode> out;
+  for (std::uint8_t i = 0; i < static_cast<std::uint8_t>(Opcode::kOpcodeCount);
+       ++i) {
+    out.push_back(static_cast<Opcode>(i));
+  }
+  return out;
+}
+
+class EncodeRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(EncodeRoundTrip, DecodeInvertsEncode) {
+  Instruction in;
+  in.op = GetParam();
+  in.rd = 3;
+  in.rs1 = 7;
+  in.rs2 = 15;
+  in.imm = -12345;
+  const auto bytes = encode(in);
+  const auto out = decode(bytes);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, in);
+}
+
+TEST_P(EncodeRoundTrip, MnemonicRoundTrips) {
+  const auto op = GetParam();
+  const auto back = opcode_from_mnemonic(mnemonic(op));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, op);
+}
+
+TEST_P(EncodeRoundTrip, DisassembleIsNonEmptyAndStartsWithMnemonic) {
+  Instruction in;
+  in.op = GetParam();
+  const std::string text = disassemble(in);
+  EXPECT_EQ(text.rfind(std::string(mnemonic(in.op)), 0), 0u) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeRoundTrip,
+                         ::testing::ValuesIn(all_opcodes()));
+
+TEST(Isa, ImmediateEncodesFullInt32Range) {
+  for (const std::int32_t imm :
+       {INT32_MIN, -1, 0, 1, INT32_MAX, 0x10000, -0x10000}) {
+    Instruction in{Opcode::kMovImm, 1, 0, 0, imm};
+    const auto out = decode(encode(in));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->imm, imm);
+  }
+}
+
+TEST(Isa, DecodeRejectsIllegalOpcode) {
+  std::array<std::uint8_t, kInstructionSize> bytes{};
+  bytes[0] = static_cast<std::uint8_t>(Opcode::kOpcodeCount);
+  EXPECT_FALSE(decode(bytes).has_value());
+  bytes[0] = 0xff;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Isa, DecodeRejectsIllegalRegister) {
+  std::array<std::uint8_t, kInstructionSize> bytes{};
+  bytes[0] = static_cast<std::uint8_t>(Opcode::kAdd);
+  bytes[1] = 16;  // rd out of range
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Isa, DecodeRejectsShortBuffer) {
+  std::array<std::uint8_t, 4> bytes{};
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Isa, RegisterNamesRoundTrip) {
+  for (int r = 0; r < kNumRegisters; ++r) {
+    const auto back = register_from_name(register_name(r));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_EQ(register_from_name("sp"), kStackPointer);
+  EXPECT_EQ(register_from_name("r15"), kStackPointer);
+  EXPECT_FALSE(register_from_name("r16").has_value());
+  EXPECT_FALSE(register_from_name("bogus").has_value());
+}
+
+TEST(Isa, ControlFlowClassification) {
+  EXPECT_TRUE(is_control_flow(Opcode::kBeqz));
+  EXPECT_TRUE(is_control_flow(Opcode::kJmp));
+  EXPECT_TRUE(is_control_flow(Opcode::kRet));
+  EXPECT_TRUE(is_control_flow(Opcode::kCallReg));
+  EXPECT_FALSE(is_control_flow(Opcode::kAdd));
+  EXPECT_FALSE(is_control_flow(Opcode::kLoad));
+  EXPECT_FALSE(is_control_flow(Opcode::kSyscall));
+}
+
+TEST(Isa, OperandUsageFlags) {
+  EXPECT_TRUE(reads_rs1(Opcode::kAdd));
+  EXPECT_TRUE(reads_rs2(Opcode::kAdd));
+  EXPECT_TRUE(writes_rd(Opcode::kAdd));
+  EXPECT_FALSE(reads_rs2(Opcode::kAddImm));
+  EXPECT_FALSE(writes_rd(Opcode::kStore));
+  EXPECT_TRUE(reads_rs2(Opcode::kStore));
+  EXPECT_TRUE(writes_rd(Opcode::kPop));
+  EXPECT_FALSE(reads_rs1(Opcode::kPop));
+}
+
+TEST(Isa, DisassembleFormatsMemoryOperands) {
+  Instruction load{Opcode::kLoad, 3, 1, 0, 16};
+  EXPECT_EQ(disassemble(load), "load r3, [r1+16]");
+  Instruction store{Opcode::kStore, 0, 2, 4, -8};
+  EXPECT_EQ(disassemble(store), "store [r2-8], r4");
+}
+
+TEST(Isa, DisassembleFormatsBranches) {
+  Instruction b{Opcode::kBeqz, 0, 5, 0, 0x100};
+  EXPECT_EQ(disassemble(b), "beqz r5, 0x100");
+}
+
+}  // namespace
+}  // namespace crs::isa

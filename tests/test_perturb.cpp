@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+#include <set>
+
+#include "harness.hpp"
+#include "perturb/perturb.hpp"
+
+namespace crs::perturb {
+namespace {
+
+using sim::Event;
+using sim::StopReason;
+
+sim::PmuSnapshot run_perturb(const PerturbParams& params, int calls = 1) {
+  std::string src;
+  src += "_start:\n";
+  src += "    movi r13, " + std::to_string(calls) + "\n";
+  src += "ploop:\n";
+  src += "    call perturb\n";
+  src += "    addi r13, r13, -1\n";
+  src += "    bnez r13, ploop\n";
+  src += "    movi r1, 0\n";
+  src += "    call exit_\n";
+  src += generate_perturb_source(params, "perturb");
+  test::SimHarness h;
+  h.add_program(src, "/bin/p");
+  EXPECT_EQ(h.run_program("/bin/p"), StopReason::kHalted);
+  return h.machine().pmu().snapshot();
+}
+
+std::uint64_t ev(const sim::PmuSnapshot& s, Event e) {
+  return s[static_cast<std::size_t>(e)];
+}
+
+TEST(Perturb, GeneratedSourceAssemblesAndRuns) {
+  PerturbParams p;  // paper defaults: a=11, b=6, 10 iterations
+  const auto pmu = run_perturb(p);
+  EXPECT_GT(ev(pmu, Event::kClflushes), 0u);
+  EXPECT_GT(ev(pmu, Event::kMfences), 0u);
+}
+
+TEST(Perturb, FlushCountMatchesAlgorithmTwo) {
+  // With a=11 > loop_count=10: the `i < a` ladder fires all 10 iterations
+  // (one clflush each). With b=6: the `i < b` ladder fires 6 times, two
+  // clflushes each. Total = 10 + 12 = 22.
+  PerturbParams p;
+  const auto pmu = run_perturb(p);
+  EXPECT_EQ(ev(pmu, Event::kClflushes), 22u);
+  EXPECT_EQ(ev(pmu, Event::kMfences), 22u);
+}
+
+TEST(Perturb, LoopCountScalesFlushes) {
+  PerturbParams small;
+  small.loop_count = 6;
+  PerturbParams big;
+  big.loop_count = 24;
+  EXPECT_GT(ev(run_perturb(big), Event::kClflushes),
+            ev(run_perturb(small), Event::kClflushes));
+}
+
+TEST(Perturb, ExtraLaddersAddFlushes) {
+  PerturbParams base;
+  PerturbParams extra = base;
+  extra.extra_ladders = 3;
+  EXPECT_GT(ev(run_perturb(extra), Event::kClflushes),
+            ev(run_perturb(base), Event::kClflushes));
+}
+
+TEST(Perturb, DelayDispersesInTime) {
+  // Same flush count, more cycles: the delay loop spreads the perturbation
+  // (paper: "use a delay loop to disperse generated perturbations").
+  PerturbParams base;
+  PerturbParams delayed = base;
+  delayed.delay = 800;
+  const auto a = run_perturb(base);
+  const auto b = run_perturb(delayed);
+  EXPECT_EQ(ev(a, Event::kClflushes), ev(b, Event::kClflushes));
+  EXPECT_GT(ev(b, Event::kCycles), ev(a, Event::kCycles) + 800);
+}
+
+TEST(Perturb, DifferentParamsDifferentHpcPattern) {
+  PerturbParams p1;
+  PerturbParams p2;
+  p2.a = 3;  // the a-ladder stops firing after i >= 3... (a grows, so it
+             // fires while i < current a; smaller start still changes counts)
+  p2.b = 12;
+  p2.loop_count = 17;
+  const auto s1 = run_perturb(p1);
+  const auto s2 = run_perturb(p2);
+  EXPECT_NE(ev(s1, Event::kClflushes), ev(s2, Event::kClflushes));
+  EXPECT_NE(ev(s1, Event::kBranches), ev(s2, Event::kBranches));
+}
+
+TEST(Perturb, PerCallCostIsStable) {
+  PerturbParams p;
+  const auto one = run_perturb(p, 1);
+  const auto three = run_perturb(p, 3);
+  EXPECT_EQ(ev(three, Event::kClflushes), 3 * ev(one, Event::kClflushes));
+}
+
+TEST(Perturb, NoopPerturbIsQuiet) {
+  std::string src;
+  src += "_start:\n";
+  src += "    call perturb\n";
+  src += "    movi r1, 0\n";
+  src += "    call exit_\n";
+  src += generate_noop_perturb_source("perturb");
+  test::SimHarness h;
+  h.add_program(src, "/bin/p");
+  EXPECT_EQ(h.run_program("/bin/p"), StopReason::kHalted);
+  EXPECT_EQ(h.machine().pmu().count(Event::kClflushes), 0u);
+}
+
+TEST(Perturb, FlushlessLadderUsesNoFlushOrFence) {
+  PerturbParams p;
+  p.flushless = true;
+  const auto pmu = run_perturb(p);
+  EXPECT_EQ(ev(pmu, Event::kClflushes), 0u);
+  EXPECT_EQ(ev(pmu, Event::kMfences), 0u);
+  // The eviction walks still generate the cache contamination.
+  EXPECT_GT(ev(pmu, Event::kL1dMisses), 100u);
+}
+
+TEST(Perturb, FlushlessStillEvictsItsVariables) {
+  // The reload after each eviction walk must miss: misses scale with the
+  // ladder activations like the clflush version's flush count does.
+  PerturbParams small;
+  small.flushless = true;
+  small.loop_count = 6;
+  PerturbParams big = small;
+  big.loop_count = 24;
+  EXPECT_GT(ev(run_perturb(big), Event::kL1dMisses),
+            ev(run_perturb(small), Event::kL1dMisses));
+}
+
+TEST(Perturb, DescribeListsParameters) {
+  PerturbParams p;
+  p.a = 7;
+  p.delay = 100;
+  const auto d = p.describe();
+  EXPECT_NE(d.find("a=7"), std::string::npos);
+  EXPECT_NE(d.find("d=100"), std::string::npos);
+  PerturbParams q;
+  q.flushless = true;
+  EXPECT_NE(q.describe().find(" fl"), std::string::npos);
+}
+
+TEST(Perturb, RejectsBadParams) {
+  PerturbParams p;
+  p.loop_count = 0;
+  EXPECT_THROW(generate_perturb_source(p), Error);
+  PerturbParams q;
+  q.extra_ladders = 99;
+  EXPECT_THROW(generate_perturb_source(q), Error);
+}
+
+TEST(Mutator, NeverRepeatsConsecutively) {
+  VariantMutator m(PerturbParams{}, 42);
+  PerturbParams prev = m.current();
+  for (int i = 0; i < 50; ++i) {
+    const PerturbParams next = m.next();
+    EXPECT_FALSE(next == prev) << "iteration " << i;
+    prev = next;
+  }
+  EXPECT_EQ(m.generation(), 50);
+}
+
+TEST(Mutator, DeterministicPerSeed) {
+  VariantMutator a(PerturbParams{}, 7);
+  VariantMutator b(PerturbParams{}, 7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(a.next() == b.next());
+  }
+}
+
+TEST(Mutator, ParametersStayInValidRanges) {
+  VariantMutator m(PerturbParams{}, 3);
+  for (int i = 0; i < 100; ++i) {
+    const auto& p = m.next();
+    EXPECT_GE(p.a, 5);
+    EXPECT_LE(p.a, 40);
+    EXPECT_GE(p.b, 2);
+    EXPECT_LE(p.b, 20);
+    EXPECT_GE(p.loop_count, 6);
+    EXPECT_LE(p.loop_count, 28);
+    EXPECT_GE(p.extra_ladders, 0);
+    EXPECT_LE(p.extra_ladders, 3);
+    // Every variant must assemble.
+    EXPECT_NO_THROW(generate_perturb_source(p));
+  }
+}
+
+TEST(Mutator, VariantsProduceDiverseSignatures) {
+  VariantMutator m(PerturbParams{}, 11);
+  std::set<std::uint64_t> flush_counts;
+  for (int i = 0; i < 8; ++i) {
+    flush_counts.insert(ev(run_perturb(m.next()), Event::kClflushes));
+  }
+  EXPECT_GE(flush_counts.size(), 5u) << "variants should differ in HPC terms";
+}
+
+}  // namespace
+}  // namespace crs::perturb

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "sim/branch_predictor.hpp"
+
+namespace crs::sim {
+namespace {
+
+TEST(Pht, StartsWeaklyNotTaken) {
+  PatternHistoryTable pht(64);
+  EXPECT_FALSE(pht.predict_taken(0x100));
+  EXPECT_EQ(pht.counter(0x100), 1);
+}
+
+TEST(Pht, TwoTakenFlipsPrediction) {
+  PatternHistoryTable pht(64);
+  pht.update(0x100, true);
+  EXPECT_TRUE(pht.predict_taken(0x100));  // 1 -> 2 = weakly taken
+}
+
+TEST(Pht, SaturatesAtBounds) {
+  PatternHistoryTable pht(64);
+  for (int i = 0; i < 10; ++i) pht.update(0x100, true);
+  EXPECT_EQ(pht.counter(0x100), 3);
+  for (int i = 0; i < 10; ++i) pht.update(0x100, false);
+  EXPECT_EQ(pht.counter(0x100), 0);
+}
+
+TEST(Pht, MistrainingScenario) {
+  // Spectre-PHT: repeated in-bounds executions drive the bounds-check
+  // branch to strongly not-taken; one out-of-bounds execution must still
+  // be predicted not-taken (i.e. mispredicted).
+  PatternHistoryTable pht(4096);
+  const std::uint64_t pc = 0x10048;
+  for (int i = 0; i < 8; ++i) pht.update(pc, false);
+  EXPECT_FALSE(pht.predict_taken(pc));
+  pht.update(pc, true);  // the OOB attempt resolves taken
+  EXPECT_FALSE(pht.predict_taken(pc)) << "one update must not flip saturation";
+}
+
+TEST(Pht, DistinctPcsUseDistinctCounters) {
+  PatternHistoryTable pht(4096);
+  pht.update(0x100, true);
+  pht.update(0x100, true);
+  EXPECT_TRUE(pht.predict_taken(0x100));
+  EXPECT_FALSE(pht.predict_taken(0x108));
+}
+
+TEST(Btb, EmptyPredictsNothing) {
+  BranchTargetBuffer btb(64);
+  EXPECT_FALSE(btb.predict(0x100).has_value());
+}
+
+TEST(Btb, RemembersLastTarget) {
+  BranchTargetBuffer btb(64);
+  btb.update(0x100, 0x2000);
+  ASSERT_TRUE(btb.predict(0x100).has_value());
+  EXPECT_EQ(*btb.predict(0x100), 0x2000u);
+  btb.update(0x100, 0x3000);
+  EXPECT_EQ(*btb.predict(0x100), 0x3000u);
+}
+
+TEST(Btb, TagMismatchMisses) {
+  BranchTargetBuffer btb(64);
+  btb.update(0x100, 0x2000);
+  // Same index (64 entries, stride 8*64=512), different pc tag.
+  EXPECT_FALSE(btb.predict(0x100 + 512).has_value());
+}
+
+TEST(Rsb, LifoOrder) {
+  ReturnStackBuffer rsb(16);
+  rsb.push(1);
+  rsb.push(2);
+  rsb.push(3);
+  EXPECT_EQ(rsb.pop(), 3u);
+  EXPECT_EQ(rsb.pop(), 2u);
+  EXPECT_EQ(rsb.pop(), 1u);
+}
+
+TEST(Rsb, UnderflowReturnsNullopt) {
+  ReturnStackBuffer rsb(4);
+  EXPECT_FALSE(rsb.pop().has_value());
+  rsb.push(7);
+  EXPECT_TRUE(rsb.pop().has_value());
+  EXPECT_FALSE(rsb.pop().has_value());
+}
+
+TEST(Rsb, OverflowWrapsOverwritingOldest) {
+  ReturnStackBuffer rsb(2);
+  rsb.push(1);
+  rsb.push(2);
+  rsb.push(3);  // overwrites 1
+  EXPECT_EQ(rsb.depth(), 2u);
+  EXPECT_EQ(rsb.pop(), 3u);
+  EXPECT_EQ(rsb.pop(), 2u);
+  EXPECT_FALSE(rsb.pop().has_value());
+}
+
+TEST(Rsb, ClearEmpties) {
+  ReturnStackBuffer rsb(8);
+  rsb.push(1);
+  rsb.clear();
+  EXPECT_EQ(rsb.depth(), 0u);
+  EXPECT_FALSE(rsb.pop().has_value());
+}
+
+TEST(Predictor, FacadeBundlesStructures) {
+  BranchPredictor bp;
+  bp.pht().update(0x10, true);
+  bp.btb().update(0x10, 0x20);
+  bp.rsb().push(0x30);
+  EXPECT_EQ(bp.rsb().depth(), 1u);
+  EXPECT_TRUE(bp.btb().predict(0x10).has_value());
+}
+
+}  // namespace
+}  // namespace crs::sim

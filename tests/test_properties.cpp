@@ -1,0 +1,395 @@
+// Property-based and differential tests: randomized inputs checked against
+// reference models or algebraic invariants, parameterised over seeds so
+// each instantiation explores a different region.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "casm/assembler.hpp"
+#include "harness.hpp"
+#include "isa/isa.hpp"
+#include "rop/chain.hpp"
+#include "rop/gadget.hpp"
+#include "sim/branch_predictor.hpp"
+#include "sim/cache.hpp"
+#include "sim/memory.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace crs {
+namespace {
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+isa::Instruction random_instruction(Rng& rng) {
+  isa::Instruction in;
+  in.op = static_cast<isa::Opcode>(
+      rng.next_below(static_cast<std::uint64_t>(isa::Opcode::kOpcodeCount)));
+  in.rd = static_cast<std::uint8_t>(rng.next_below(isa::kNumRegisters));
+  in.rs1 = static_cast<std::uint8_t>(rng.next_below(isa::kNumRegisters));
+  in.rs2 = static_cast<std::uint8_t>(rng.next_below(isa::kNumRegisters));
+  in.imm = static_cast<std::int32_t>(rng.next_u64());
+  return in;
+}
+
+TEST_P(Seeded, EncodeDecodeIsIdentityOnValidInstructions) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    const auto in = random_instruction(rng);
+    const auto decoded = isa::decode(isa::encode(in));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, in);
+  }
+}
+
+TEST_P(Seeded, DecodeOfRandomBytesNeverLiesAboutValidity) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  std::array<std::uint8_t, isa::kInstructionSize> bytes{};
+  for (int i = 0; i < 5000; ++i) {
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto decoded = isa::decode(bytes);
+    if (decoded.has_value()) {
+      // Decoding succeeded: re-encoding must reproduce the exact bytes.
+      EXPECT_EQ(isa::encode(*decoded), bytes);
+    } else {
+      // Decoding failed: the opcode or a register index must be illegal.
+      const bool illegal =
+          bytes[0] >= static_cast<std::uint8_t>(isa::Opcode::kOpcodeCount) ||
+          bytes[1] >= isa::kNumRegisters || bytes[2] >= isa::kNumRegisters ||
+          bytes[3] >= isa::kNumRegisters;
+      EXPECT_TRUE(illegal);
+    }
+  }
+}
+
+bool opcode_uses_imm(isa::Opcode op) {
+  switch (isa::op_class(op)) {
+    case isa::OpClass::kLoad:
+    case isa::OpClass::kStore:
+    case isa::OpClass::kCondBranch:
+    case isa::OpClass::kJump:
+    case isa::OpClass::kCall:
+    case isa::OpClass::kFlush:
+      return true;
+    default:
+      return op == isa::Opcode::kMovImm || op == isa::Opcode::kAddImm ||
+             op == isa::Opcode::kMulImm || op == isa::Opcode::kAndImm ||
+             op == isa::Opcode::kOrImm || op == isa::Opcode::kXorImm ||
+             op == isa::Opcode::kShlImm || op == isa::Opcode::kShrImm;
+  }
+}
+
+TEST_P(Seeded, DisassembleReassemblesToSameEncoding) {
+  // For every opcode whose disassembly is position-independent (no label
+  // resolution involved — absolute targets print as hex literals, which
+  // the assembler accepts), text -> bytes must round-trip. Fields the
+  // textual form does not carry (an unused imm on a 3-register op, unused
+  // register slots) are canonicalised to zero first.
+  Rng rng(GetParam() ^ 0xD15A);
+  for (int i = 0; i < 500; ++i) {
+    isa::Instruction in = random_instruction(rng);
+    // Keep immediates in ranges the textual form preserves exactly.
+    in.imm = static_cast<std::int32_t>(rng.next_in(-100000, 100000));
+    if (isa::op_class(in.op) == isa::OpClass::kCondBranch ||
+        isa::op_class(in.op) == isa::OpClass::kJump ||
+        isa::op_class(in.op) == isa::OpClass::kCall) {
+      in.imm = static_cast<std::int32_t>(rng.next_below(1 << 30));
+    }
+    if (!isa::writes_rd(in.op)) in.rd = 0;
+    if (!isa::reads_rs1(in.op)) in.rs1 = 0;
+    if (!isa::reads_rs2(in.op)) in.rs2 = 0;
+    if (!opcode_uses_imm(in.op)) in.imm = 0;
+    const std::string text = isa::disassemble(in);
+    casm::AssembleOptions opt;
+    opt.link_base = 0x10000;
+    const auto prog = casm::assemble(text + "\n", opt);
+    ASSERT_FALSE(prog.segments.empty()) << text;
+    const auto& bytes = prog.segments.front().bytes;
+    ASSERT_EQ(bytes.size(), isa::kInstructionSize) << text;
+    const auto expected = isa::encode(in);
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), bytes.begin()))
+        << text;
+  }
+}
+
+// Reference cache model: per-set LRU lists.
+class ReferenceCache {
+ public:
+  ReferenceCache(std::uint32_t sets, std::uint32_t ways, std::uint32_t line)
+      : sets_(sets), ways_(ways), line_(line), lru_(sets) {}
+
+  bool access(std::uint64_t addr) {
+    auto& set = lru_[set_of(addr)];
+    const std::uint64_t tag = tag_of(addr);
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (*it == tag) {
+        set.erase(it);
+        set.push_front(tag);
+        return true;
+      }
+    }
+    set.push_front(tag);
+    if (set.size() > ways_) set.pop_back();
+    return false;
+  }
+
+  bool probe(std::uint64_t addr) const {
+    const auto& set = lru_[set_of(addr)];
+    const std::uint64_t tag = tag_of(addr);
+    for (const auto t : set) {
+      if (t == tag) return true;
+    }
+    return false;
+  }
+
+  void flush(std::uint64_t addr) {
+    auto& set = lru_[set_of(addr)];
+    const std::uint64_t tag = tag_of(addr);
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (*it == tag) {
+        set.erase(it);
+        return;
+      }
+    }
+  }
+
+ private:
+  std::size_t set_of(std::uint64_t addr) const {
+    return (addr / line_) % sets_;
+  }
+  std::uint64_t tag_of(std::uint64_t addr) const {
+    return (addr / line_) / sets_;
+  }
+  std::uint32_t sets_, ways_, line_;
+  std::vector<std::deque<std::uint64_t>> lru_;
+};
+
+TEST_P(Seeded, CacheLevelMatchesReferenceLruModel) {
+  sim::CacheConfig cfg{2048, 64, 4};  // 8 sets x 4 ways
+  sim::CacheLevel cache(cfg);
+  ReferenceCache ref(cache.num_sets(), cfg.ways, cfg.line_size);
+  Rng rng(GetParam() ^ 0xCACE);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t addr = rng.next_below(64 * 1024);
+    switch (rng.next_below(8)) {
+      case 0:
+        cache.flush_line(addr);
+        ref.flush(addr);
+        break;
+      case 1:
+        EXPECT_EQ(cache.probe(addr), ref.probe(addr)) << "step " << i;
+        break;
+      default:
+        EXPECT_EQ(cache.access(addr), ref.access(addr)) << "step " << i;
+        break;
+    }
+  }
+}
+
+TEST_P(Seeded, RsbMatchesBoundedStackModel) {
+  sim::ReturnStackBuffer rsb(8);
+  std::vector<std::uint64_t> model;  // back = top, capped to 8
+  Rng rng(GetParam() ^ 0x4535);
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.next_bernoulli(0.55)) {
+      const std::uint64_t v = rng.next_u64();
+      rsb.push(v);
+      model.push_back(v);
+      if (model.size() > 8) model.erase(model.begin());
+    } else {
+      const auto got = rsb.pop();
+      if (model.empty()) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, model.back());
+        model.pop_back();
+      }
+    }
+    EXPECT_EQ(rsb.depth(), model.size());
+  }
+}
+
+TEST_P(Seeded, MemoryPermissionChecksMatchPageMap) {
+  sim::Memory mem(32 * sim::Memory::kPageSize);
+  std::vector<std::uint8_t> pages(32, sim::kPermNone);
+  Rng rng(GetParam() ^ 0x9e39);
+  static constexpr sim::Perm kPerms[] = {sim::kPermNone, sim::kPermRead,
+                                         sim::kPermRW, sim::kPermRX};
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t page = rng.next_below(32);
+    const std::uint64_t span = 1 + rng.next_below(32 - page);
+    const sim::Perm perm = kPerms[rng.next_below(std::size(kPerms))];
+    mem.set_permissions(page * sim::Memory::kPageSize,
+                        span * sim::Memory::kPageSize, perm);
+    for (std::uint64_t p = page; p < page + span; ++p) pages[p] = perm;
+
+    for (int q = 0; q < 50; ++q) {
+      const std::uint64_t addr = rng.next_below(mem.size() - 64);
+      const std::uint64_t len = 1 + rng.next_below(64);
+      for (const auto kind :
+           {sim::AccessKind::kRead, sim::AccessKind::kWrite,
+            sim::AccessKind::kExecute}) {
+        const std::uint8_t need = kind == sim::AccessKind::kRead  ? 1
+                                  : kind == sim::AccessKind::kWrite ? 2
+                                                                    : 4;
+        bool expect = true;
+        for (std::uint64_t p = addr / sim::Memory::kPageSize;
+             p <= (addr + len - 1) / sim::Memory::kPageSize; ++p) {
+          if ((pages[p] & need) == 0) expect = false;
+        }
+        EXPECT_EQ(mem.check(addr, len, kind), expect);
+      }
+    }
+  }
+}
+
+TEST_P(Seeded, AluExecutionMatchesInterpreter) {
+  // Random straight-line ALU programs, run on the simulated CPU and on a
+  // direct C++ interpreter; all 15 general registers must agree.
+  Rng rng(GetParam() ^ 0xA111);
+  static constexpr isa::Opcode kAluOps[] = {
+      isa::Opcode::kMovImm, isa::Opcode::kMov,    isa::Opcode::kAdd,
+      isa::Opcode::kSub,    isa::Opcode::kMul,    isa::Opcode::kDivu,
+      isa::Opcode::kRemu,   isa::Opcode::kAnd,    isa::Opcode::kOr,
+      isa::Opcode::kXor,    isa::Opcode::kShl,    isa::Opcode::kShr,
+      isa::Opcode::kSar,    isa::Opcode::kAddImm, isa::Opcode::kMulImm,
+      isa::Opcode::kAndImm, isa::Opcode::kOrImm,  isa::Opcode::kXorImm,
+      isa::Opcode::kShlImm, isa::Opcode::kShrImm, isa::Opcode::kCmpLt,
+      isa::Opcode::kCmpLtu, isa::Opcode::kCmpEq,  isa::Opcode::kCmpNe};
+
+  std::vector<isa::Instruction> program;
+  for (int i = 0; i < 120; ++i) {
+    isa::Instruction in;
+    in.op = kAluOps[rng.next_below(std::size(kAluOps))];
+    in.rd = static_cast<std::uint8_t>(rng.next_below(15));   // keep sp safe
+    in.rs1 = static_cast<std::uint8_t>(rng.next_below(15));
+    in.rs2 = static_cast<std::uint8_t>(rng.next_below(15));
+    in.imm = static_cast<std::int32_t>(rng.next_u64());
+    program.push_back(in);
+  }
+
+  // Interpreter.
+  std::uint64_t regs[16] = {};
+  auto sext = [](std::int32_t v) {
+    return static_cast<std::uint64_t>(static_cast<std::int64_t>(v));
+  };
+  for (const auto& in : program) {
+    const std::uint64_t a = regs[in.rs1];
+    const std::uint64_t b = regs[in.rs2];
+    const std::uint64_t imm = sext(in.imm);
+    std::uint64_t r = 0;
+    switch (in.op) {
+      case isa::Opcode::kMovImm: r = imm; break;
+      case isa::Opcode::kMov: r = a; break;
+      case isa::Opcode::kAdd: r = a + b; break;
+      case isa::Opcode::kSub: r = a - b; break;
+      case isa::Opcode::kMul: r = a * b; break;
+      case isa::Opcode::kDivu: r = b == 0 ? ~0ull : a / b; break;
+      case isa::Opcode::kRemu: r = b == 0 ? a : a % b; break;
+      case isa::Opcode::kAnd: r = a & b; break;
+      case isa::Opcode::kOr: r = a | b; break;
+      case isa::Opcode::kXor: r = a ^ b; break;
+      case isa::Opcode::kShl: r = a << (b & 63); break;
+      case isa::Opcode::kShr: r = a >> (b & 63); break;
+      case isa::Opcode::kSar:
+        r = static_cast<std::uint64_t>(static_cast<std::int64_t>(a) >> (b & 63));
+        break;
+      case isa::Opcode::kAddImm: r = a + imm; break;
+      case isa::Opcode::kMulImm: r = a * imm; break;
+      case isa::Opcode::kAndImm: r = a & imm; break;
+      case isa::Opcode::kOrImm: r = a | imm; break;
+      case isa::Opcode::kXorImm: r = a ^ imm; break;
+      case isa::Opcode::kShlImm: r = a << (static_cast<std::uint32_t>(in.imm) & 63); break;
+      case isa::Opcode::kShrImm: r = a >> (static_cast<std::uint32_t>(in.imm) & 63); break;
+      case isa::Opcode::kCmpLt:
+        r = static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+        break;
+      case isa::Opcode::kCmpLtu: r = a < b; break;
+      case isa::Opcode::kCmpEq: r = a == b; break;
+      case isa::Opcode::kCmpNe: r = a != b; break;
+      default: FAIL();
+    }
+    regs[in.rd] = r;
+  }
+
+  // Simulated CPU.
+  std::string src = "_start:\n";
+  for (const auto& in : program) src += isa::disassemble(in) + "\n";
+  src += "halt\n";
+  test::SimHarness h;
+  h.add_program(src, "/bin/p");
+  ASSERT_EQ(h.run_program("/bin/p"), sim::StopReason::kHalted);
+  for (int r = 0; r < 15; ++r) {
+    if (r >= 1 && r <= 3) continue;  // argv registers start non-zero
+    EXPECT_EQ(h.machine().cpu().reg(r), regs[r]) << "r" << r;
+  }
+}
+
+TEST_P(Seeded, PercentileIsMonotoneAndBounded) {
+  Rng rng(GetParam() ^ 0x57A7);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.next_gaussian(10, 5));
+  double prev = percentile(xs, 0);
+  EXPECT_DOUBLE_EQ(prev, *std::min_element(xs.begin(), xs.end()));
+  for (double p = 5; p <= 100; p += 5) {
+    const double v = percentile(xs, p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(prev, *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST_P(Seeded, PayloadLayoutInvariants) {
+  // For random frame geometries, the built payload always has the chain at
+  // the filler boundary and the path string NUL-terminated at the front.
+  Rng rng(GetParam() ^ 0xF00D);
+  std::vector<rop::Gadget> gadgets;
+  auto make = [&](rop::GadgetKind kind, int reg, std::uint64_t addr) {
+    rop::Gadget g;
+    g.kind = kind;
+    g.pop_register = reg;
+    g.address = addr;
+    gadgets.push_back(g);
+  };
+  make(rop::GadgetKind::kPopReg, 0, 0x1000 + rng.next_below(0x1000) * 8);
+  make(rop::GadgetKind::kPopReg, 1, 0x3000 + rng.next_below(0x1000) * 8);
+  make(rop::GadgetKind::kSyscall, -1, 0x5000 + rng.next_below(0x1000) * 8);
+
+  rop::ChainBuilder builder(gadgets);
+  for (int i = 0; i < 50; ++i) {
+    rop::ExecveChainSpec spec;
+    spec.binary_path = "/bin/x" + std::to_string(rng.next_below(1000));
+    spec.filler_length = spec.binary_path.size() + 1 + rng.next_below(200);
+    spec.buffer_address = 0x100000 + rng.next_below(1 << 20);
+    spec.resume_address = 0x10000 + rng.next_below(1 << 16);
+    const auto payload = builder.build_execve_payload(spec);
+    ASSERT_EQ(payload.bytes.size(), spec.filler_length + 48);
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(payload.bytes.data())),
+              spec.binary_path);
+    auto word = [&](std::size_t off) {
+      std::uint64_t v = 0;
+      for (int k = 7; k >= 0; --k)
+        v = (v << 8) | payload.bytes[off + static_cast<std::size_t>(k)];
+      return v;
+    };
+    EXPECT_EQ(word(spec.filler_length + 8), spec.buffer_address);
+    EXPECT_EQ(word(spec.filler_length + 40), spec.resume_address);
+  }
+}
+
+TEST_P(Seeded, PhtCounterNeverLeavesSaturationRange) {
+  sim::PatternHistoryTable pht(64);
+  Rng rng(GetParam() ^ 0x9147);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t pc = rng.next_below(1 << 16) * 8;
+    pht.update(pc, rng.next_bernoulli(0.5));
+    EXPECT_LE(pht.counter(pc), 3);
+  }
+}
+
+}  // namespace
+}  // namespace crs

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/report.hpp"
+#include "hid/features.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace crs::core {
+namespace {
+
+std::vector<hid::WindowSample> fake_windows() {
+  std::vector<hid::WindowSample> out(3);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].delta[static_cast<std::size_t>(sim::Event::kInstructions)] =
+        1000 * (i + 1);
+    out[i].delta[static_cast<std::size_t>(sim::Event::kCycles)] =
+        2000 * (i + 1);
+    out[i].delta[static_cast<std::size_t>(sim::Event::kL1dMisses)] = 5 * i;
+    out[i].injected = i == 1;
+  }
+  return out;
+}
+
+TEST(Report, WindowsCsvHasHeaderAndRows) {
+  const auto csv = windows_to_csv(fake_windows());
+  const auto lines = split(csv, '\n');
+  ASSERT_GE(lines.size(), 4u);  // header + 3 rows (+ trailing empty)
+  EXPECT_NE(lines[0].find("cycles,instructions"), std::string::npos);
+  EXPECT_NE(lines[0].find("total_cache_accesses,injected"), std::string::npos);
+  // Column count = universe + injected flag, constant across rows.
+  const auto header_cols = split(lines[0], ',').size();
+  EXPECT_EQ(header_cols, hid::feature_universe_size() + 1);
+  for (int r = 1; r <= 3; ++r) {
+    EXPECT_EQ(split(lines[r], ',').size(), header_cols) << "row " << r;
+  }
+  // The injected flag lands in the last column.
+  EXPECT_EQ(split(lines[1], ',').back(), "0");
+  EXPECT_EQ(split(lines[2], ',').back(), "1");
+}
+
+TEST(Report, CampaignCsvRoundTripsRecords) {
+  CampaignResult result;
+  AttemptRecord a;
+  a.attempt = 1;
+  a.detection_rate = 0.25;
+  a.evaded = true;
+  a.secret_recovered = true;
+  a.attack_window_count = 42;
+  result.attempts.push_back(a);
+  a.attempt = 2;
+  a.detection_rate = 0.95;
+  a.detected = true;
+  a.evaded = false;
+  a.mutated_after = true;
+  result.attempts.push_back(a);
+
+  const auto csv = campaign_to_csv(result);
+  const auto lines = split(csv, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("attempt,detection_rate"), std::string::npos);
+  EXPECT_NE(lines[1].find("1,0.2500,0,1,0,1,"), std::string::npos);
+  EXPECT_NE(lines[2].find("2,0.9500,1,0,1,1,"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"a="), std::string::npos) << "variant quoted";
+}
+
+TEST(Report, WriteTextFileRoundTrip) {
+  const std::string path = "/tmp/crs_report_test.csv";
+  write_text_file(path, "a,b\n1,2\n");
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "a,b");
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteToBadPathThrows) {
+  EXPECT_THROW(write_text_file("/nonexistent-dir/x.csv", "data"), Error);
+}
+
+TEST(Report, EmptyInputsProduceHeadersOnly) {
+  const auto wcsv = windows_to_csv({});
+  EXPECT_EQ(split(wcsv, '\n').size(), 2u);  // header + trailing empty
+  const auto ccsv = campaign_to_csv(CampaignResult{});
+  EXPECT_EQ(split(ccsv, '\n').size(), 2u);
+}
+
+}  // namespace
+}  // namespace crs::core

@@ -1,0 +1,296 @@
+// ROP pipeline tests: gadget scanning, chain construction, frame recon,
+// and the full CR-Spectre injection — overflow → gadget chain → execve →
+// in-host Spectre secret recovery → host resumes and finishes its work.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+#include "attack/spectre.hpp"
+#include "rop/chain.hpp"
+#include "rop/gadget.hpp"
+#include "rop/plan.hpp"
+#include "rop/recon.hpp"
+#include "workloads/workloads.hpp"
+
+namespace crs::rop {
+namespace {
+
+using sim::StopReason;
+
+constexpr const char* kSecret = "ATTACK AT DAWN!!";
+
+workloads::WorkloadOptions host_options(bool canary = false) {
+  workloads::WorkloadOptions opt;
+  opt.scale = 4;
+  opt.canary = canary;
+  opt.secret = kSecret;
+  return opt;
+}
+
+TEST(GadgetScanner, FindsRuntimeLibraryGadgets) {
+  const auto prog = workloads::build_workload("basicmath", host_options());
+  GadgetScanner scanner;
+  const auto gadgets = scanner.scan(prog);
+  EXPECT_GT(gadgets.size(), 10u);
+
+  const Gadget* pop0 = find_pop(gadgets, 0);
+  const Gadget* pop1 = find_pop(gadgets, 1);
+  const Gadget* sys = find_syscall(gadgets);
+  ASSERT_NE(pop0, nullptr);
+  ASSERT_NE(pop1, nullptr);
+  ASSERT_NE(sys, nullptr);
+  // The runtime library's restore_rN / syscall_fn tails must be in the
+  // catalogue (several other functions also donate equivalent gadgets, so
+  // find_* may legitimately return an earlier one).
+  auto has_gadget_at = [&](std::uint64_t addr) {
+    for (const auto& g : gadgets)
+      if (g.address == addr) return true;
+    return false;
+  };
+  EXPECT_TRUE(has_gadget_at(prog.symbol("restore_r0")));
+  EXPECT_TRUE(has_gadget_at(prog.symbol("restore_r1")));
+  EXPECT_TRUE(has_gadget_at(prog.symbol("syscall_fn")));
+  EXPECT_EQ(pop0->instructions.size(), 2u);
+  EXPECT_EQ(pop1->pop_register, 1);
+  EXPECT_EQ(sys->instructions.front().op, isa::Opcode::kSyscall);
+}
+
+TEST(GadgetScanner, GadgetsEndInRetAndAvoidControlFlow) {
+  const auto prog = workloads::build_workload("crc32", host_options());
+  const auto gadgets = GadgetScanner().scan(prog);
+  for (const auto& g : gadgets) {
+    ASSERT_FALSE(g.instructions.empty());
+    EXPECT_EQ(g.instructions.back().op, isa::Opcode::kRet);
+    for (std::size_t i = 0; i + 1 < g.instructions.size(); ++i) {
+      EXPECT_FALSE(isa::is_control_flow(g.instructions[i].op))
+          << g.describe();
+    }
+  }
+}
+
+TEST(GadgetScanner, RespectsMaxLength) {
+  ScanOptions opt;
+  opt.max_gadget_length = 2;
+  const auto prog = workloads::build_workload("basicmath", host_options());
+  const auto gadgets = GadgetScanner(opt).scan(prog);
+  for (const auto& g : gadgets) {
+    EXPECT_LE(g.instructions.size(), 2u);
+  }
+}
+
+TEST(GadgetScanner, SkipsNonExecutableSegments) {
+  // Hide a fake `pop r0; ret` sequence in .data: it must not be reported.
+  const auto pop_ret_prog = workloads::build_workload("bitcount", host_options());
+  const auto gadgets = GadgetScanner().scan(pop_ret_prog);
+  for (const auto& g : gadgets) {
+    bool in_text = false;
+    for (const auto& seg : pop_ret_prog.segments) {
+      if ((seg.perm & sim::kPermExec) != 0 && g.address >= seg.addr &&
+          g.address < seg.addr + seg.bytes.size()) {
+        in_text = true;
+      }
+    }
+    EXPECT_TRUE(in_text) << g.describe();
+  }
+}
+
+TEST(GadgetScanner, DescribeCatalogIsReadable) {
+  const auto prog = workloads::build_workload("basicmath", host_options());
+  const auto gadgets = GadgetScanner().scan(prog);
+  const auto catalog = describe_catalog(gadgets);
+  EXPECT_NE(catalog.find("pop r0; ret"), std::string::npos);
+  EXPECT_NE(catalog.find("syscall; ret"), std::string::npos);
+}
+
+TEST(Recon, MeasuresVulnerableFrame) {
+  const auto prog = workloads::build_workload("basicmath", host_options());
+  ReconSpec spec;
+  spec.path = "/bin/host";
+  spec.benign_args = {"host", "hello"};
+  const auto frame = recon_vulnerable_frame(prog, spec);
+  EXPECT_EQ(frame.filler_length, 104u);  // char buffer[104]
+  EXPECT_GT(frame.buffer_address, 0u);
+  EXPECT_EQ(frame.return_slot, frame.buffer_address + 104);
+  // The saved return address points back into _start.
+  EXPECT_GT(frame.resume_address, prog.link_base);
+}
+
+TEST(Recon, CanaryFrameIsWider) {
+  const auto prog = workloads::build_workload("basicmath", host_options(true));
+  ReconSpec spec;
+  spec.path = "/bin/host";
+  spec.benign_args = {"host", "hello"};
+  const auto frame = recon_vulnerable_frame(prog, spec);
+  EXPECT_EQ(frame.filler_length, 112u);  // buffer + canary word
+}
+
+TEST(ChainBuilder, RequiresAllGadgets) {
+  std::vector<Gadget> empty;
+  ChainBuilder builder(empty);
+  EXPECT_FALSE(builder.can_build_execve());
+  ExecveChainSpec spec;
+  spec.binary_path = "/bin/x";
+  spec.filler_length = 104;
+  EXPECT_THROW(builder.build_execve_payload(spec), Error);
+}
+
+TEST(ChainBuilder, PayloadLayoutMatchesListingOne) {
+  const auto prog = workloads::build_workload("basicmath", host_options());
+  const auto gadgets = GadgetScanner().scan(prog);
+  ChainBuilder builder(gadgets);
+  ASSERT_TRUE(builder.can_build_execve());
+
+  ExecveChainSpec spec;
+  spec.binary_path = "/bin/cr_spectre";
+  spec.buffer_address = 0xF00000;
+  spec.filler_length = 104;
+  spec.resume_address = 0x10040;
+  const auto payload = builder.build_execve_payload(spec);
+
+  ASSERT_EQ(payload.bytes.size(), 104u + 6 * 8);
+  auto word = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | payload.bytes[off + static_cast<std::size_t>(i)];
+    return v;
+  };
+  EXPECT_EQ(word(104), payload.pop_r1_gadget);
+  EXPECT_EQ(word(112), spec.buffer_address);  // path pointer
+  EXPECT_EQ(word(120), payload.pop_r0_gadget);
+  EXPECT_EQ(word(128), static_cast<std::uint64_t>(sim::kSysExecve));
+  EXPECT_EQ(word(136), payload.syscall_gadget);
+  EXPECT_EQ(word(144), spec.resume_address);
+  // Path string embedded NUL-terminated at the front.
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(payload.bytes.data())),
+            spec.binary_path);
+}
+
+TEST(ChainBuilder, RejectsTinyFiller) {
+  const auto prog = workloads::build_workload("basicmath", host_options());
+  const auto gadgets = GadgetScanner().scan(prog);
+  ChainBuilder builder(gadgets);
+  ExecveChainSpec spec;
+  spec.binary_path = "/bin/a/very/long/path/that/wont/fit";
+  spec.filler_length = 8;
+  EXPECT_THROW(builder.build_execve_payload(spec), Error);
+}
+
+// ---------------------------------------------------------------------------
+// The full CR-Spectre injection.
+// ---------------------------------------------------------------------------
+
+struct InjectionResult {
+  StopReason reason = StopReason::kHalted;
+  std::string output;
+  int execve_count = 0;
+  std::uint64_t host_result = 0;
+  sim::FaultKind fault = sim::FaultKind::kNone;
+};
+
+InjectionResult run_injection(const std::string& host_name, bool canary,
+                              bool aslr) {
+  const auto host = workloads::build_workload(host_name, host_options(canary));
+
+  // -- adversary offline phase: gadgets, frame recon, attack binary --
+  ReconSpec rspec;
+  rspec.path = "/bin/host";
+  const auto plan = plan_injection(host, rspec, "/bin/cr_spectre");
+  const auto& payload = plan.payload;
+
+  attack::AttackConfig acfg;
+  acfg.target_secret_address = host.symbol("host_secret");
+  acfg.secret_length = static_cast<std::uint32_t>(std::string(kSecret).size());
+  const auto attack_bin = attack::build_attack_binary(acfg);
+
+  // -- the actual attack run --
+  sim::KernelConfig kcfg;
+  kcfg.aslr = aslr;
+  sim::Machine machine;
+  sim::Kernel kernel(machine, kcfg);
+  kernel.register_binary("/bin/host", host);
+  kernel.register_binary("/bin/cr_spectre", attack_bin);
+  const std::vector<std::uint8_t> argv0{'h', 'o', 's', 't'};
+  kernel.start("/bin/host",
+               std::vector<std::vector<std::uint8_t>>{argv0, payload.bytes});
+
+  InjectionResult out;
+  out.reason = kernel.run(500'000'000);
+  out.output = kernel.output_string();
+  out.execve_count = kernel.execve_count();
+  out.fault = machine.cpu().fault().kind;
+  if (out.reason == StopReason::kHalted) {
+    out.host_result = machine.memory().read_u64(
+        kernel.resolved_symbol("/bin/host", "result"));
+  }
+  return out;
+}
+
+TEST(Injection, FullCrSpectreChainRecoversSecretAndResumesHost) {
+  const auto r = run_injection("basicmath", /*canary=*/false, /*aslr=*/false);
+  ASSERT_EQ(r.reason, StopReason::kHalted);
+  EXPECT_EQ(r.execve_count, 1) << "the chain must execve exactly once";
+  EXPECT_EQ(r.output, kSecret) << "the injected Spectre must leak the secret";
+  // The host resumed behind the syscall gadget and completed its work.
+  EXPECT_EQ(r.host_result, workloads::mirror::basicmath(4));
+}
+
+TEST(Injection, WorksAcrossHosts) {
+  for (const auto* host : {"bitcount", "crc32", "stringsearch"}) {
+    const auto r = run_injection(host, false, false);
+    EXPECT_EQ(r.reason, StopReason::kHalted) << host;
+    EXPECT_EQ(r.output, kSecret) << host;
+    EXPECT_EQ(r.execve_count, 1) << host;
+  }
+}
+
+TEST(Injection, BenignInputLeavesHostUntouched) {
+  const auto host = workloads::build_workload("basicmath", host_options());
+  sim::Machine machine;
+  sim::Kernel kernel(machine);
+  kernel.register_binary("/bin/host", host);
+  kernel.start_with_strings("/bin/host", {"hello"});
+  EXPECT_EQ(kernel.run(200'000'000), StopReason::kHalted);
+  EXPECT_EQ(kernel.execve_count(), 0);
+  EXPECT_TRUE(kernel.output_string().empty());
+}
+
+TEST(Injection, StackCanaryDefenseAbortsTheAttack) {
+  const auto r = run_injection("basicmath", /*canary=*/true, /*aslr=*/false);
+  EXPECT_EQ(r.reason, StopReason::kFault);
+  EXPECT_EQ(r.fault, sim::FaultKind::kStackCanary);
+  EXPECT_EQ(r.execve_count, 0);
+  EXPECT_NE(r.output, kSecret);
+}
+
+TEST(Injection, AslrDefenseDefeatsLinkTimeAddresses) {
+  // The payload was built against link-time gadget addresses; under ASLR
+  // the image shifts, so the chain must not reach execve.
+  const auto r = run_injection("basicmath", /*canary=*/false, /*aslr=*/true);
+  EXPECT_EQ(r.execve_count, 0);
+  EXPECT_NE(r.output, kSecret);
+}
+
+TEST(Injection, RopChainTripsRsbMispredicts) {
+  // The overwritten return address disagrees with the RSB — a detectable
+  // micro-architectural artefact of ROP injection.
+  const auto host = workloads::build_workload("basicmath", host_options());
+  ReconSpec rspec;
+  rspec.path = "/bin/host";
+  const auto plan = plan_injection(host, rspec, "/bin/cr_spectre");
+  const auto& payload = plan.payload;
+  attack::AttackConfig acfg;
+  acfg.target_secret_address = host.symbol("host_secret");
+  acfg.secret_length = 4;
+
+  sim::Machine machine;
+  sim::Kernel kernel(machine);
+  kernel.register_binary("/bin/host", host);
+  kernel.register_binary("/bin/cr_spectre", attack::build_attack_binary(acfg));
+  const std::vector<std::uint8_t> argv0{'h', 'o', 's', 't'};
+  kernel.start("/bin/host",
+               std::vector<std::vector<std::uint8_t>>{argv0, payload.bytes});
+  ASSERT_EQ(kernel.run(500'000'000), StopReason::kHalted);
+  EXPECT_GE(machine.pmu().count(sim::Event::kRsbMispredicts), 1u);
+}
+
+}  // namespace
+}  // namespace crs::rop

@@ -1,0 +1,421 @@
+// Tests for the transient-execution semantics the Spectre attack depends
+// on: bounded wrong-path execution, rollback of architectural state,
+// persistence of cache fills, and RSB-driven transient execution at a
+// stale return site.
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace crs {
+namespace {
+
+using sim::Event;
+using sim::StopReason;
+using test::SimHarness;
+
+// A Spectre-PHT (v1) victim plus a driver that mistrains the bounds check,
+// flushes the bound, and calls with an out-of-bounds index reaching
+// `secret`. The probe line for the secret byte must become cache-resident
+// even though the access never happens architecturally.
+constexpr const char* kSpectreV1 = R"(
+_start:
+    ; --- train: 8 in-bounds calls ---
+    movi r10, 8
+train:
+    movi r1, 1
+    call victim
+    addi r10, r10, -1
+    bnez r10, train
+
+    ; --- flush the bound and the probe array ---
+    movi r4, array1_size
+    clflush [r4]
+    movi r11, probe
+    movi r12, 256
+flush_probe:
+    clflush [r11]
+    addi r11, r11, 64
+    addi r12, r12, -1
+    bnez r12, flush_probe
+    mfence
+
+    ; --- the out-of-bounds call: x = secret - array1 ---
+    movi r1, secret
+    movi r2, array1
+    sub r1, r1, r2
+    call victim
+    movi r1, 0
+    call exit_
+
+; victim(r1 = x): if (x < array1_size) leak probe[array1[x] * 64]
+victim:
+    movi r4, array1_size
+    load r4, [r4]
+    cmpltu r5, r1, r4
+    beqz r5, victim_done       ; taken = out of bounds (skip)
+    movi r6, array1
+    add r6, r6, r1
+    loadb r7, [r6]
+    shli r7, r7, 6
+    movi r8, probe
+    add r8, r8, r7
+    loadb r9, [r8]
+victim_done:
+    ret
+
+.data
+array1_size:
+    .word 8
+array1:
+    .byte 1, 2, 3, 4, 5, 6, 7, 8
+.align 64
+secret:
+    .byte 83            ; 'S'
+.align 64
+probe:
+    .space 16384        ; 256 lines x 64 bytes
+)";
+
+TEST(Speculation, SpectreV1LeaksSecretIntoCache) {
+  SimHarness h;
+  const auto& prog = h.add_program(kSpectreV1, "/bin/spectre");
+  ASSERT_EQ(h.run_program("/bin/spectre"), StopReason::kHalted);
+
+  const std::uint64_t probe = prog.symbol("probe");
+  auto& hier = h.machine().hierarchy();
+  EXPECT_TRUE(hier.l1d_resident(probe + 83 * 64))
+      << "the secret's probe line must have been filled transiently";
+
+  // Lines adjacent to the secret's line must still be cold.
+  int resident = 0;
+  for (int b = 0; b < 256; ++b) {
+    if (hier.l1d_resident(probe + 64ull * b)) ++resident;
+  }
+  EXPECT_LE(resident, 3) << "only the leaked line (plus noise) may be warm";
+
+  const auto& pmu = h.machine().pmu();
+  EXPECT_GE(pmu.count(Event::kSpecInstructions), 5u);
+  EXPECT_GE(pmu.count(Event::kSpecLoads), 2u);
+  EXPECT_GE(pmu.count(Event::kBranchMispredicts), 1u);
+}
+
+TEST(Speculation, FenceMitigationBlocksLeak) {
+  // Same mistrain/flush/OOB driver as kSpectreV1, but the victim carries a
+  // fence between the bound load and the branch — the classic lfence /
+  // Context-Sensitive Fencing mitigation. The fence forces the bound to
+  // resolve before the branch issues, so no wrong-path window opens.
+  const std::string source = R"(
+_start:
+    movi r10, 8
+train:
+    movi r1, 1
+    call victim
+    addi r10, r10, -1
+    bnez r10, train
+    movi r4, array1_size
+    clflush [r4]
+    movi r11, probe
+    movi r12, 256
+flush_probe:
+    clflush [r11]
+    addi r11, r11, 64
+    addi r12, r12, -1
+    bnez r12, flush_probe
+    mfence
+    movi r1, secret
+    movi r2, array1
+    sub r1, r1, r2
+    call victim
+    movi r1, 0
+    call exit_
+
+victim:
+    movi r4, array1_size
+    load r4, [r4]
+    cmpltu r5, r1, r4
+    mfence                  ; the mitigation: serialise before branching
+    beqz r5, victim_done
+    movi r6, array1
+    add r6, r6, r1
+    loadb r7, [r6]
+    shli r7, r7, 6
+    movi r8, probe
+    add r8, r8, r7
+    loadb r9, [r8]
+victim_done:
+    ret
+
+.data
+array1_size:
+    .word 8
+array1:
+    .byte 1, 2, 3, 4, 5, 6, 7, 8
+.align 64
+secret:
+    .byte 83
+.align 64
+probe:
+    .space 16384
+)";
+  SimHarness h;
+  const auto& prog = h.add_program(source, "/bin/nospec");
+  ASSERT_EQ(h.run_program("/bin/nospec"), StopReason::kHalted);
+  EXPECT_FALSE(
+      h.machine().hierarchy().l1d_resident(prog.symbol("probe") + 83 * 64));
+}
+
+TEST(Speculation, ArchitecturalStateRollsBack) {
+  // The wrong path writes to r9 and to memory; neither write may survive.
+  const std::string source = R"(
+_start:
+    ; train the branch not-taken
+    movi r10, 8
+train:
+    movi r1, 0
+    call gadget
+    addi r10, r10, -1
+    bnez r10, train
+    ; flush the flag so the branch resolves late, then trigger mispredict
+    movi r4, flag
+    clflush [r4]
+    mfence
+    movi r1, 1
+    call gadget
+    ; r9 must still be 0; sentinel must still be 5
+    movi r4, sentinel
+    load r5, [r4]
+    add r1, r9, r5
+    call exit_
+
+gadget:
+    movi r4, flag
+    load r4, [r4]
+    add r4, r4, r1       ; r4 = flag + x; nonzero only for x=1
+    beqz r4, g_done
+    ; wrong path during training (never trained taken)... the real taken
+    ; path when x=1:
+    movi r9, 99
+    movi r6, sentinel
+    movi r7, 77
+    store [r6], r7
+g_done:
+    ret
+
+.data
+flag: .word 0
+sentinel: .word 5
+)";
+  // Careful: with x=1 the branch IS architecturally taken, so the stores do
+  // happen. Invert: train taken, then mispredict toward taken while the
+  // architectural path is not-taken.
+  const std::string source2 = R"(
+_start:
+    movi r10, 8
+train:
+    movi r1, 1
+    call gadget          ; flag+1 != 0 -> branch not taken...
+    addi r10, r10, -1
+    bnez r10, train
+    movi r4, flag
+    clflush [r4]
+    mfence
+    movi r1, 0
+    call gadget          ; flag+0 == 0 -> taken; predicted not-taken
+    movi r4, sentinel
+    load r5, [r4]
+    add r1, r9, r5
+    call exit_
+
+gadget:
+    movi r9, 0
+    movi r4, flag
+    load r4, [r4]
+    add r4, r4, r1
+    bnez r4, g_done      ; trained taken for x=1
+    ; x=0 path: architecturally executed ONLY when x=0; during the
+    ; mispredicted episode for x=0 the WRONG path is g_done (harmless).
+    ; To test rollback we need the wrong path to contain writes; put them
+    ; behind the *trained* direction instead:
+g_done:
+    ret
+
+.data
+flag: .word 0
+sentinel: .word 5
+)";
+  (void)source2;
+  // Simplest correct construction: train branch so the *predicted* path
+  // contains the writes, then make the architectural outcome skip them.
+  const std::string source3 = R"(
+_start:
+    movi r10, 8
+train:
+    movi r1, 0
+    call gadget          ; x=0: branch falls through INTO the writes
+    addi r10, r10, -1
+    bnez r10, train
+    movi r4, guard
+    clflush [r4]
+    mfence
+    movi r1, 1
+    call gadget          ; x=1: branch taken (skip), predicted fall-through
+    movi r4, sentinel
+    load r5, [r4+8]      ; the slot only the x=1 (transient) path targets
+    add r1, r9, r5       ; r9 still 0?
+    call exit_
+
+gadget:
+    movi r9, 0
+    movi r4, guard
+    load r4, [r4]
+    add r4, r4, r1       ; 0 during training, 1 on the final call
+    bnez r4, g_skip      ; taken only on the final call
+    movi r9, 99          ; trained fall-through path: the wrong path later
+    movi r6, sentinel
+    shli r7, r1, 3
+    add r6, r6, r7       ; slot sentinel[x]
+    movi r7, 77
+    store [r6], r7
+g_skip:
+    ret
+
+.data
+guard: .word 0
+sentinel: .word 13, 5
+)";
+  (void)source;
+  SimHarness h;
+  h.add_program(source3, "/bin/rollback");
+  ASSERT_EQ(h.run_program("/bin/rollback"), StopReason::kHalted);
+  EXPECT_EQ(h.kernel().exit_code(), 5)
+      << "speculative register/memory writes must be rolled back";
+  EXPECT_GE(h.machine().pmu().count(Event::kSpecInstructions), 1u);
+}
+
+TEST(Speculation, WrongPathIsBoundedByWindow) {
+  // A wrong path that would run forever (tight loop) must be cut off by
+  // max_spec_window. The branch is mispredicted on its very first
+  // execution: the PHT starts weakly-not-taken and the guard load is cold,
+  // so the CPU speculates into the (never architecturally executed) spin.
+  const std::string source = R"(
+_start:
+    movi r1, 1
+    call gadget
+    movi r1, 0
+    call exit_
+
+gadget:
+    movi r4, guard
+    load r4, [r4]        ; cold: slow resolution
+    add r4, r4, r1       ; = 1
+    bnez r4, g_skip      ; actual taken, predicted not-taken
+spin:
+    addi r9, r9, 1       ; the wrong path spins forever...
+    jmp spin
+g_skip:
+    ret
+
+.data
+guard: .word 0
+)";
+  sim::MachineConfig mcfg;
+  mcfg.cpu.max_spec_window = 24;
+  SimHarness h({}, mcfg);
+  h.add_program(source, "/bin/spin");
+  ASSERT_EQ(h.run_program("/bin/spin"), StopReason::kHalted);
+  // One episode capped at the 24-instruction window (plus at most a couple
+  // of tiny episodes elsewhere).
+  EXPECT_GE(h.machine().pmu().count(Event::kSpecInstructions), 16u);
+  EXPECT_LE(h.machine().pmu().count(Event::kSpecInstructions), 30u);
+}
+
+TEST(Speculation, RsbMispredictExecutesStaleReturnSiteTransiently) {
+  // A callee overwrites its own return address (what a ROP payload does).
+  // Architecturally control transfers to `hijack_target`; transiently the
+  // CPU follows the RSB back to the call site, touching `beacon`.
+  const std::string source = R"(
+_start:
+    call f
+after_call:                ; transient beacon site (RSB prediction)
+    movi r6, beacon
+    loadb r7, [r6]
+    jmp never              ; architectural execution never passes here
+never:
+    movi r1, 60
+    call exit_
+
+f:
+    ; delay the return-address load by flushing its stack line
+    mov r4, sp
+    movi r5, hijack_target
+    store [r4], r5         ; overwrite the saved return address
+    clflush [r4]
+    mfence
+    ret                    ; RSB says after_call; stack says hijack_target
+
+hijack_target:
+    movi r1, 42
+    call exit_
+
+.data
+.align 64
+beacon: .space 64
+)";
+  SimHarness h;
+  const auto& prog = h.add_program(source, "/bin/rsb");
+  ASSERT_EQ(h.run_program("/bin/rsb"), StopReason::kHalted);
+  EXPECT_EQ(h.kernel().exit_code(), 42) << "architectural hijack must win";
+  EXPECT_TRUE(h.machine().hierarchy().l1d_resident(prog.symbol("beacon")))
+      << "the stale return site must have executed transiently";
+  EXPECT_GE(h.machine().pmu().count(Event::kRsbMispredicts), 1u);
+}
+
+TEST(Speculation, SpecWindowZeroDisablesTransientLeak) {
+  // With speculation disabled (window 0) the Spectre program must leak
+  // nothing — the InvisiSpec-style "no transient side effects" baseline.
+  sim::MachineConfig mcfg;
+  mcfg.cpu.max_spec_window = 0;
+  SimHarness h({}, mcfg);
+  const auto& prog = h.add_program(kSpectreV1, "/bin/spectre");
+  ASSERT_EQ(h.run_program("/bin/spectre"), StopReason::kHalted);
+  EXPECT_FALSE(
+      h.machine().hierarchy().l1d_resident(prog.symbol("probe") + 83 * 64));
+  EXPECT_EQ(h.machine().pmu().count(Event::kSpecInstructions), 0u);
+}
+
+TEST(Speculation, TransientFaultIsSuppressed) {
+  // The wrong path dereferences unmapped memory; the program must neither
+  // fault nor leak beyond the squash point.
+  const std::string source = R"(
+_start:
+    movi r1, 1
+    call gadget
+    movi r1, 33
+    call exit_
+
+gadget:
+    movi r4, guard
+    load r4, [r4]          ; cold: slow resolution
+    add r4, r4, r1         ; = 1
+    bnez r4, g_skip        ; actual taken, predicted not-taken
+    movi r6, 0x100
+    load r7, [r6]          ; unmapped on the wrong path
+    movi r8, beacon
+    loadb r9, [r8]         ; must NOT execute (after the squash)
+g_skip:
+    ret
+
+.data
+guard: .word 0
+.align 64
+beacon: .space 64
+)";
+  SimHarness h;
+  const auto& prog = h.add_program(source, "/bin/sfault");
+  ASSERT_EQ(h.run_program("/bin/sfault"), StopReason::kHalted);
+  EXPECT_EQ(h.kernel().exit_code(), 33);
+  EXPECT_FALSE(h.machine().hierarchy().l1d_resident(prog.symbol("beacon")));
+}
+
+}  // namespace
+}  // namespace crs

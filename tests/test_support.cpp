@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace crs {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Rng, NextInCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(5);
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.next_gaussian());
+  EXPECT_NEAR(s.mean(), 0.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.next_bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::multiset<int> a(v.begin(), v.end()), b(w.begin(), w.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng b = a.split();
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  OnlineStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  EXPECT_NEAR(s.variance(), 37.2, 1e-9);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 16.0);
+  EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(OnlineStats, MergeEqualsSinglePass) {
+  Rng rng(2);
+  OnlineStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_gaussian(3.0, 2.0);
+    all.add(x);
+    (i < 500 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.count(), all.count());
+}
+
+TEST(Stats, MedianAndPercentile) {
+  std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(Stats, EmptyPercentileThrows) {
+  EXPECT_THROW(percentile({}, 50), Error);
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, SplitWsDropsBlanks) {
+  const auto parts = split_ws("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "foo");
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, TrimBothEnds) { EXPECT_EQ(trim("  x \t"), "x"); }
+
+TEST(Strings, ParseIntDecimalHexNegative) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_int("123", v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(parse_int("0x1f", v));
+  EXPECT_EQ(v, 31);
+  EXPECT_TRUE(parse_int("-42", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(parse_int("12x", v));
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("-", v));
+}
+
+TEST(Strings, HexAndFixedFormatting) {
+  EXPECT_EQ(hex(255), "0xff");
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("x", 3), "  x");
+  EXPECT_EQ(pad_right("x", 3), "x  ");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name   | value"), std::string::npos);
+  EXPECT_NE(out.find("longer | 22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, MissingCellsRenderEmpty) {
+  Table t({"a", "b"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Error, EnsureThrowsWithContext) {
+  try {
+    CRS_ENSURE(false, "the message");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("the message"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace crs

@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "harness.hpp"
+#include "workloads/workloads.hpp"
+
+namespace crs::workloads {
+namespace {
+
+using sim::Event;
+using sim::StopReason;
+
+struct RunOutcome {
+  std::uint64_t result = 0;
+  sim::PmuSnapshot pmu{};
+};
+
+RunOutcome run_workload(const std::string& name, const WorkloadOptions& opt,
+                        const std::vector<std::string>& args = {"benign"}) {
+  sim::Machine machine;
+  sim::Kernel kernel(machine);
+  kernel.register_binary("/bin/" + name, build_workload(name, opt));
+  kernel.start_with_strings("/bin/" + name, args);
+  const auto reason = kernel.run(200'000'000);
+  EXPECT_EQ(reason, StopReason::kHalted) << name;
+  RunOutcome out;
+  out.result = machine.memory().read_u64(
+      kernel.resolved_symbol("/bin/" + name, "result"));
+  out.pmu = machine.pmu().snapshot();
+  return out;
+}
+
+class AllWorkloads : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllWorkloads, RunsToCompletion) {
+  WorkloadOptions opt;
+  opt.scale = 4;
+  const auto out = run_workload(GetParam(), opt);
+  EXPECT_GT(out.pmu[static_cast<std::size_t>(Event::kInstructions)], 100u);
+}
+
+TEST_P(AllWorkloads, RunsWithoutArguments) {
+  sim::Machine machine;
+  sim::Kernel kernel(machine);
+  WorkloadOptions opt;
+  opt.scale = 2;
+  kernel.register_binary("/bin/w", build_workload(GetParam(), opt));
+  kernel.start_with_strings("/bin/w", {});
+  EXPECT_EQ(kernel.run(200'000'000), StopReason::kHalted);
+}
+
+TEST_P(AllWorkloads, DeterministicAcrossRuns) {
+  WorkloadOptions opt;
+  opt.scale = 3;
+  const auto a = run_workload(GetParam(), opt);
+  const auto b = run_workload(GetParam(), opt);
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(a.pmu[static_cast<std::size_t>(Event::kCycles)],
+            b.pmu[static_cast<std::size_t>(Event::kCycles)]);
+}
+
+TEST_P(AllWorkloads, CanaryVariantRunsCleanWithBenignInput) {
+  WorkloadOptions opt;
+  opt.scale = 50;
+  opt.canary = true;
+  const auto out = run_workload(GetParam(), opt);
+  EXPECT_GT(out.pmu[static_cast<std::size_t>(Event::kInstructions)], 100u);
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& w : host_catalog()) names.push_back(w.name);
+  for (const auto& w : benign_pool_catalog()) names.push_back(w.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, AllWorkloads,
+                         ::testing::ValuesIn(all_names()));
+
+TEST(Workloads, BasicmathMatchesMirror) {
+  WorkloadOptions opt;
+  opt.scale = 50;
+  EXPECT_EQ(run_workload("basicmath", opt).result,
+            mirror::basicmath(opt.scale));
+}
+
+TEST(Workloads, BitcountMatchesMirror) {
+  WorkloadOptions opt;
+  opt.scale = 80;
+  EXPECT_EQ(run_workload("bitcount", opt).result, mirror::bitcount(opt.scale));
+}
+
+TEST(Workloads, Crc32MatchesMirror) {
+  WorkloadOptions opt;
+  opt.scale = 30;
+  EXPECT_EQ(run_workload("crc32", opt).result, mirror::crc32(opt.scale));
+}
+
+TEST(Workloads, QsortMatchesMirror) {
+  WorkloadOptions opt;
+  opt.scale = 24;
+  EXPECT_EQ(run_workload("qsort", opt).result,
+            mirror::qsort_checksum(opt.scale));
+}
+
+TEST(Workloads, ShaMatchesMirror) {
+  WorkloadOptions opt;
+  opt.scale = 3;
+  EXPECT_EQ(run_workload("sha", opt).result, mirror::sha(opt.scale));
+}
+
+TEST(Workloads, ScaleIncreasesWork) {
+  WorkloadOptions small;
+  small.scale = 2;
+  WorkloadOptions big;
+  big.scale = 8;
+  const auto a = run_workload("basicmath", small);
+  const auto b = run_workload("basicmath", big);
+  EXPECT_GT(b.pmu[static_cast<std::size_t>(Event::kCycles)],
+            a.pmu[static_cast<std::size_t>(Event::kCycles)]);
+}
+
+TEST(Workloads, SignaturesAreDistinct) {
+  // The HID's whole premise: different applications produce different HPC
+  // mixes. Compare miss-rate and branch-rate fingerprints pairwise.
+  std::map<std::string, std::array<double, 2>> prints;
+  for (const auto& name :
+       {"bitcount", "sha", "pointer_chase", "basicmath"}) {
+    WorkloadOptions opt;
+    opt.scale = 6;
+    const auto out = run_workload(name, opt);
+    const double instr =
+        static_cast<double>(out.pmu[static_cast<std::size_t>(Event::kInstructions)]);
+    const double misses = static_cast<double>(
+        out.pmu[static_cast<std::size_t>(Event::kL1dMisses)]);
+    const double branches = static_cast<double>(
+        out.pmu[static_cast<std::size_t>(Event::kBranches)]);
+    prints[name] = {misses / instr, branches / instr};
+  }
+  // pointer_chase must be the miss-heaviest; bitcount the lightest.
+  EXPECT_GT(prints["pointer_chase"][0], 4 * prints["bitcount"][0]);
+  // Every pair differs noticeably in at least one dimension.
+  const auto different = [](const std::array<double, 2>& x,
+                            const std::array<double, 2>& y) {
+    return std::abs(x[0] - y[0]) > 0.01 || std::abs(x[1] - y[1]) > 0.02;
+  };
+  for (auto i = prints.begin(); i != prints.end(); ++i) {
+    for (auto j = std::next(i); j != prints.end(); ++j) {
+      EXPECT_TRUE(different(i->second, j->second))
+          << i->first << " vs " << j->first;
+    }
+  }
+}
+
+TEST(Workloads, PoolAppsFillTheFeatureContinuum) {
+  // The gap-filling purpose of the newer pool apps: each owns a region of
+  // the feature space the HID would otherwise see as empty no-man's land.
+  auto fingerprint = [](const std::string& name, std::uint64_t scale) {
+    WorkloadOptions opt;
+    opt.scale = scale;
+    const auto out = run_workload(name, opt);
+    const double instr = static_cast<double>(
+        out.pmu[static_cast<std::size_t>(Event::kInstructions)]);
+    const double cycles = static_cast<double>(
+        out.pmu[static_cast<std::size_t>(Event::kCycles)]);
+    const double ind = static_cast<double>(
+        out.pmu[static_cast<std::size_t>(Event::kIndirectJumps)]);
+    const double l2m = static_cast<double>(
+        out.pmu[static_cast<std::size_t>(Event::kL2Misses)]);
+    struct F {
+      double cpi, indirect_per_k, l2m_per_k;
+    };
+    return F{cycles / instr, 1000.0 * ind / instr, 1000.0 * l2m / instr};
+  };
+  // listsum: the mid-CPI linked-data profile between compute (~1) and
+  // pure pointer chasing (~40).
+  const auto ls = fingerprint("listsum", 2000);
+  EXPECT_GT(ls.cpi, 4.0);
+  EXPECT_LT(ls.cpi, 15.0);
+  // hashtable: DRAM-bound but parallel (low CPI, high L2 misses).
+  const auto ht = fingerprint("hashtable", 400);
+  EXPECT_GT(ht.l2m_per_k, 20.0);
+  EXPECT_LT(ht.cpi, 3.0);
+  // interp: the only benign app dominated by indirect dispatch.
+  const auto in = fingerprint("interp", 200);
+  EXPECT_GT(in.indirect_per_k, 30.0);
+  // stream: L2-resident streaming (misses L1 a lot, L2 barely).
+  const auto st = fingerprint("stream", 200);
+  EXPECT_LT(st.l2m_per_k, 10.0);
+  EXPECT_LT(st.cpi, 3.0);
+}
+
+TEST(Workloads, PlantedSecretIsInImageAndUntouched) {
+  WorkloadOptions opt;
+  opt.scale = 2;
+  opt.secret = "TOP-SECRET-KEY!!";
+  sim::Machine machine;
+  sim::Kernel kernel(machine);
+  kernel.register_binary("/bin/h", build_workload("basicmath", opt));
+  kernel.start_with_strings("/bin/h", {"x"});
+  EXPECT_EQ(kernel.run(100'000'000), StopReason::kHalted);
+  const auto addr = kernel.resolved_symbol("/bin/h", "host_secret");
+  const auto bytes = machine.memory().read_bytes(addr, opt.secret.size());
+  EXPECT_EQ(std::string(bytes.begin(), bytes.end()), opt.secret);
+  // The host never accesses the secret: its cache line stays cold.
+  EXPECT_FALSE(machine.hierarchy().l1d_resident(addr));
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(generate_workload_source("nonesuch", {}), Error);
+  EXPECT_FALSE(is_known_workload("nonesuch"));
+  EXPECT_TRUE(is_known_workload("sha"));
+}
+
+TEST(Workloads, BitcountHasHighestIpcAsInTableOne) {
+  // Paper Table I: bitcount has by far the highest IPC of {math, bitcount,
+  // sha}. Our scalar core preserves that headline ordering; the math-vs-sha
+  // order flips (no FP unit: "Math" becomes divide/branch-bound here),
+  // which EXPERIMENTS.md documents as a known divergence.
+  // Scales chosen so each run retires enough instructions (>100k) for a
+  // steady-state IPC, not a cold-start artefact.
+  auto ipc = [](const std::string& name, std::uint64_t scale) {
+    WorkloadOptions opt;
+    opt.scale = scale;
+    const auto out = run_workload(name, opt);
+    EXPECT_GT(out.pmu[static_cast<std::size_t>(Event::kInstructions)],
+              100'000u)
+        << name;
+    return static_cast<double>(
+               out.pmu[static_cast<std::size_t>(Event::kInstructions)]) /
+           static_cast<double>(
+               out.pmu[static_cast<std::size_t>(Event::kCycles)]);
+  };
+  const double bc = ipc("bitcount", 6000);
+  const double math = ipc("basicmath", 2000);
+  const double sha = ipc("sha", 60);
+  EXPECT_GT(bc, math);
+  EXPECT_GT(bc, sha);
+}
+
+}  // namespace
+}  // namespace crs::workloads

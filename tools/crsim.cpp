@@ -1,0 +1,113 @@
+// crsim — assemble and run a program on the simulated machine.
+//
+//   crsim prog.s [arg1 arg2 ...]     assemble + run, print output and PMU
+//   crsim --disasm prog.s            assemble and print the listing
+//
+// The runtime library (print/exit_/memcpy/... and the gadget-donating
+// helpers) is linked in automatically, exactly as for the built-in
+// workloads. Use this to write your own victims and attacks.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "casm/assembler.hpp"
+#include "casm/runtime.hpp"
+#include "sim/kernel.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) {
+    throw crs::Error("cannot read '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crs;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: crsim [--disasm] <prog.s> [args...]\n"
+                 "       assembles with the runtime library and runs the "
+                 "program on the simulator\n");
+    return 2;
+  }
+
+  try {
+    bool disasm = false;
+    int argi = 1;
+    if (std::string(argv[argi]) == "--disasm") {
+      disasm = true;
+      ++argi;
+    }
+    if (argi >= argc) {
+      std::fprintf(stderr, "missing input file\n");
+      return 2;
+    }
+    const std::string path = argv[argi++];
+    const sim::Program program =
+        casm::assemble(read_file(path) + casm::runtime_library(),
+                       {.name = path, .link_base = 0x10000});
+
+    if (disasm) {
+      std::fputs(casm::disassemble_text(program).c_str(), stdout);
+      return 0;
+    }
+
+    std::vector<std::string> args{path};
+    for (; argi < argc; ++argi) args.emplace_back(argv[argi]);
+
+    sim::Machine machine;
+    sim::Kernel kernel(machine);
+    kernel.register_binary(path, program);
+    kernel.start_with_strings(path, args);
+    const auto reason = kernel.run(2'000'000'000);
+
+    if (!kernel.output_string().empty()) {
+      std::printf("%s", kernel.output_string().c_str());
+      if (kernel.output_string().back() != '\n') std::printf("\n");
+    }
+    switch (reason) {
+      case sim::StopReason::kHalted:
+        std::fprintf(stderr, "[crsim] exit %lld\n",
+                     static_cast<long long>(kernel.exit_code()));
+        break;
+      case sim::StopReason::kFault:
+        std::fprintf(stderr, "[crsim] FAULT kind=%d at pc=%s addr=%s\n",
+                     static_cast<int>(machine.cpu().fault().kind),
+                     hex(machine.cpu().fault().pc).c_str(),
+                     hex(machine.cpu().fault().addr).c_str());
+        break;
+      default:
+        std::fprintf(stderr, "[crsim] instruction limit reached\n");
+        break;
+    }
+    std::fprintf(stderr,
+                 "[crsim] %llu instructions, %llu cycles (IPC %.3f)\n",
+                 static_cast<unsigned long long>(machine.cpu().retired()),
+                 static_cast<unsigned long long>(machine.cpu().cycle()),
+                 static_cast<double>(machine.cpu().retired()) /
+                     static_cast<double>(machine.cpu().cycle()));
+    for (std::size_t i = 0; i < sim::kEventCount; ++i) {
+      const auto e = static_cast<sim::Event>(i);
+      std::fprintf(stderr, "[pmu] %-20s %llu\n",
+                   std::string(sim::event_name(e)).c_str(),
+                   static_cast<unsigned long long>(machine.pmu().count(e)));
+    }
+    return reason == sim::StopReason::kHalted
+               ? static_cast<int>(kernel.exit_code())
+               : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "crsim: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,85 @@
+// gadget_hunter — the offline half of the ROP attack as a CLI.
+//
+//   gadget_hunter <prog.s>            print the full gadget catalogue
+//   gadget_hunter --plan <prog.s>     additionally plan the execve chain
+//                                     (frame recon + payload hexdump)
+//
+// `prog.s` is assembled with the runtime library, like crsim does; the
+// scanner then decodes its executable pages the way the paper's authors
+// walked the victim in GDB.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "casm/assembler.hpp"
+#include "casm/runtime.hpp"
+#include "rop/plan.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.good()) throw crs::Error("cannot read '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crs;
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: gadget_hunter [--plan] <prog.s>\n");
+    return 2;
+  }
+  try {
+    bool plan_chain = false;
+    int argi = 1;
+    if (std::string(argv[argi]) == "--plan") {
+      plan_chain = true;
+      ++argi;
+    }
+    if (argi >= argc) {
+      std::fprintf(stderr, "missing input file\n");
+      return 2;
+    }
+    const std::string path = argv[argi];
+    const sim::Program program =
+        casm::assemble(read_file(path) + casm::runtime_library(),
+                       {.name = path, .link_base = 0x10000});
+
+    const auto gadgets = rop::GadgetScanner().scan(program);
+    std::printf("%zu gadgets in executable pages of %s:\n", gadgets.size(),
+                path.c_str());
+    std::fputs(rop::describe_catalog(gadgets).c_str(), stdout);
+
+    rop::ChainBuilder builder(gadgets);
+    std::printf("\nexecve chain constructible: %s\n",
+                builder.can_build_execve() ? "yes" : "NO");
+
+    if (plan_chain && builder.can_build_execve()) {
+      rop::ReconSpec spec;
+      spec.path = path;
+      const auto plan = rop::plan_injection(program, spec, "/bin/cr_spectre");
+      std::printf("frame: buffer %s, return slot %s, filler %llu bytes\n",
+                  hex(plan.frame.buffer_address).c_str(),
+                  hex(plan.frame.return_slot).c_str(),
+                  static_cast<unsigned long long>(plan.frame.filler_length));
+      std::printf("payload (%zu bytes):\n", plan.payload.bytes.size());
+      for (std::size_t i = 0; i < plan.payload.bytes.size(); ++i) {
+        if (i % 16 == 0) std::printf("  %04zx:", i);
+        std::printf(" %02x", plan.payload.bytes[i]);
+        if (i % 16 == 15) std::printf("\n");
+      }
+      if (plan.payload.bytes.size() % 16 != 0) std::printf("\n");
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "gadget_hunter: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,95 @@
+// trace_export — dump HPC window traces as CSV for external analysis.
+//
+//   trace_export benign <workload> <scale> <out.csv>
+//   trace_export spectre <pht|rsb|stride|btb> <out.csv>
+//   trace_export crspectre <host> <scale> <out.csv>   (injected + perturbed)
+//
+// Rows carry every universe feature (measured, i.e. noisy) plus the
+// ground-truth `injected` flag.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/report.hpp"
+#include "support/error.hpp"
+#include "core/scenario.hpp"
+#include "hid/profiler.hpp"
+#include "sim/kernel.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace crs;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_export benign <workload> <scale> <out.csv>\n"
+               "       trace_export spectre <pht|rsb|stride|btb> <out.csv>\n"
+               "       trace_export crspectre <host> <scale> <out.csv>\n");
+  return 2;
+}
+
+attack::SpectreVariant parse_variant(const std::string& name) {
+  if (name == "pht") return attack::SpectreVariant::kPht;
+  if (name == "rsb") return attack::SpectreVariant::kRsb;
+  if (name == "stride") return attack::SpectreVariant::kStride;
+  if (name == "btb") return attack::SpectreVariant::kBtb;
+  throw Error("unknown variant '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace crs;
+  if (argc < 4) return usage();
+  const std::string mode = argv[1];
+  try {
+    std::vector<hid::WindowSample> windows;
+    std::string out_path;
+
+    if (mode == "benign") {
+      if (argc != 5) return usage();
+      const std::string name = argv[2];
+      const auto scale = static_cast<std::uint64_t>(std::atoll(argv[3]));
+      out_path = argv[4];
+      if (!workloads::is_known_workload(name)) {
+        throw Error("unknown workload '" + name + "'");
+      }
+      sim::Machine machine;
+      sim::Kernel kernel(machine);
+      workloads::WorkloadOptions opt;
+      opt.scale = scale;
+      kernel.register_binary("/bin/w", workloads::build_workload(name, opt));
+      windows =
+          hid::profile_run_strings(kernel, "/bin/w", {name, "input"}, {})
+              .windows;
+    } else if (mode == "spectre") {
+      if (argc != 4) return usage();
+      out_path = argv[3];
+      core::ScenarioConfig sc;
+      sc.rop_injected = false;
+      sc.variant = parse_variant(argv[2]);
+      windows = core::run_scenario(sc).profile.windows;
+    } else if (mode == "crspectre") {
+      if (argc != 5) return usage();
+      out_path = argv[4];
+      core::ScenarioConfig sc;
+      sc.host = argv[2];
+      sc.host_scale = static_cast<std::uint64_t>(std::atoll(argv[3]));
+      sc.rop_injected = true;
+      sc.perturb = true;
+      sc.perturb_params.delay = 1000;
+      sc.perturb_params.loop_count = 16;
+      windows = core::run_scenario(sc).profile.windows;
+    } else {
+      return usage();
+    }
+
+    core::write_text_file(out_path, core::windows_to_csv(windows));
+    std::printf("wrote %zu windows to %s\n", windows.size(), out_path.c_str());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "trace_export: %s\n", e.what());
+    return 1;
+  }
+}
