@@ -28,8 +28,10 @@
 #include "support/table.hpp"
 #include "workloads/workloads.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crs;
+  bench::BenchIo io(argc, argv);
+  bench::WallTimer timer;
   bench::print_header("Ablation — countermeasures (quantifying §IV)",
                       "privileged-counter HID and the ROP shadow signal");
 
@@ -254,5 +256,6 @@ int main() {
       "the ROP overflow leaves a return-address mismatch the benign run "
       "lacks — §IV's shadow-memory check would fire",
       injected_rsb > benign_rsb);
+  io.emit("ablation_countermeasures", timer.ms(), 1e3 / timer.ms());
   return 0;
 }

@@ -24,8 +24,10 @@ double byte_accuracy(const std::string& recovered, const std::string& truth) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crs;
+  bench::BenchIo io(argc, argv);
+  bench::WallTimer timer;
   bench::print_header("Ablation — covert-channel receiver",
                       "design study: threshold vs min-latency recovery");
 
@@ -65,5 +67,6 @@ int main() {
       band_works);
   bench::shape_check("thresholds outside the latency bands fail",
                      extremes_fail);
+  io.emit("ablation_covert_channel", timer.ms(), 1e3 / timer.ms());
   return 0;
 }

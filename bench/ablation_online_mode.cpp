@@ -14,8 +14,10 @@
 #include "hid/features.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crs;
+  bench::BenchIo io(argc, argv);
+  bench::WallTimer timer;
   bench::print_header("Ablation — online defender strength (countermeasure)",
                       "extends §IV: incremental vs full-retrain online HID");
 
@@ -65,5 +67,6 @@ int main() {
   bench::shape_check(
       "full retraining is a stronger defense than incremental updates",
       mean_full >= mean_incremental);
+  io.emit("ablation_online_mode", timer.ms(), 1e3 / timer.ms());
   return 0;
 }

@@ -11,8 +11,10 @@
 #include "hid/features.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crs;
+  bench::BenchIo io(argc, argv);
+  bench::WallTimer timer;
   bench::print_header("Ablation — perturbation parameters vs evasion",
                       "design study for Algorithm 2 / §II-E");
 
@@ -88,5 +90,6 @@ int main() {
   bench::shape_check(
       "dispersal-diluted variants evade (<55%, reaching paper-level lows)",
       best_diluted < 0.55);
+  io.emit("ablation_perturbation", timer.ms(), 1e3 / timer.ms());
   return 0;
 }

@@ -15,8 +15,10 @@
 #include "core/scenario.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crs;
+  bench::BenchIo io(argc, argv);
+  bench::WallTimer timer;
   bench::print_header("Ablation — architectural ROP defenses",
                       "paper §I: Stack Canaries / ASLR vs the overflow chain");
 
@@ -58,5 +60,6 @@ int main() {
       "either classic defense stops the chain on every host "
       "(the paper's §I premise before discussing their known bypasses)",
       defended_none_stolen);
+  io.emit("ablation_rop_defenses", timer.ms(), 1e3 / timer.ms());
   return 0;
 }

@@ -36,8 +36,10 @@ bool recovers(crs::attack::SpectreVariant variant, std::uint32_t window,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crs;
+  bench::BenchIo io(argc, argv);
+  bench::WallTimer timer;
   bench::print_header("Ablation — speculation window vs leak success",
                       "design study (InvisiSpec-style defense at window 0)");
 
@@ -61,5 +63,6 @@ int main() {
                      zero_blocked);
   bench::shape_check("a realistic window (>=32) leaks for every variant",
                      large_works);
+  io.emit("ablation_spec_window", timer.ms(), 1e3 / timer.ms());
   return 0;
 }

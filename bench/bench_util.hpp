@@ -1,13 +1,77 @@
 // Shared helpers for the figure/table benches.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/corpus.hpp"
+#include "support/parallel.hpp"
 #include "support/strings.hpp"
 
 namespace crs::bench {
+
+/// Common bench CLI flags, stripped from argv before anything else parses
+/// it: `--threads N` installs a process-wide worker-count override (beats
+/// CRS_THREADS) and `--bench-json <path>` enables machine-readable perf
+/// records — one JSON line per benchmark appended to <path>, so future PRs
+/// can track the trajectory in BENCH_*.json files.
+class BenchIo {
+ public:
+  BenchIo(int& argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--threads" && i + 1 < argc) {
+        set_thread_override(
+            static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10)));
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        set_thread_override(static_cast<unsigned>(
+            std::strtoul(arg.c_str() + 10, nullptr, 10)));
+      } else if (arg == "--bench-json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (arg.rfind("--bench-json=", 0) == 0) {
+        json_path_ = arg.substr(13);
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
+
+  bool json_enabled() const { return !json_path_.empty(); }
+  const std::string& json_path() const { return json_path_; }
+
+  /// Appends `{"name":...,"wall_ms":...,"items_per_s":...}` to the JSON
+  /// file; no-op when --bench-json was not given.
+  void emit(const std::string& name, double wall_ms,
+            double items_per_s) const {
+    if (json_path_.empty()) return;
+    std::FILE* f = std::fopen(json_path_.c_str(), "a");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\"name\":\"%s\",\"wall_ms\":%.3f,\"items_per_s\":%.3f}\n",
+                 name.c_str(), wall_ms, items_per_s);
+    std::fclose(f);
+  }
+
+ private:
+  std::string json_path_;
+};
+
+/// Wall-clock stopwatch for whole-figure timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Paper §III-A: 2000 samples per class, 70/30 split downstream.
 inline core::CorpusConfig paper_corpus_config() {

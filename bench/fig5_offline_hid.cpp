@@ -15,8 +15,10 @@
 #include "ml/mlp.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crs;
+  bench::BenchIo io(argc, argv);
+  bench::WallTimer timer;
   bench::print_header("Fig. 5 — offline HID: Spectre vs CR-Spectre",
                       "Figure 5(a) and 5(b), 10 attempts x 4 classifiers");
 
@@ -78,5 +80,7 @@ int main() {
     }
     std::printf("\n");
   }
+  // 2 figure panels x 4 classifiers x 10 attempts.
+  io.emit("fig5_offline_hid", timer.ms(), 80.0 / (timer.ms() / 1e3));
   return 0;
 }

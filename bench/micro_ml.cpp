@@ -1,6 +1,7 @@
 // Micro-benchmarks of the ML library (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include "bench_json_reporter.hpp"
 #include "ml/dataset.hpp"
 #include "ml/linear.hpp"
 #include "ml/mlp.hpp"
@@ -76,6 +77,27 @@ void BM_MlpPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_MlpPredict);
 
+// Dense square matmul across sizes (items = multiply-accumulates), tracking
+// the blocked + transposed Matrix::multiply.
+void BM_MatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(42);
+  ml::Matrix a(n, n);
+  ml::Matrix b(n, n);
+  for (auto& v : a.data()) v = rng.next_gaussian(0.0, 1.0);
+  for (auto& v : b.data()) v = rng.next_gaussian(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.multiply(b));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatrixMultiply)
+    ->Arg(32)
+    ->Arg(128)
+    ->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_FisherSelection(benchmark::State& state) {
   const auto d = blobs(4000, 26, 7);
   for (auto _ : state) {
@@ -86,4 +108,6 @@ BENCHMARK(BM_FisherSelection)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return crs::bench::run_micro_benchmarks(argc, argv);
+}

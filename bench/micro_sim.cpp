@@ -2,33 +2,70 @@
 #include <benchmark/benchmark.h>
 
 #include "attack/spectre.hpp"
+#include "bench_json_reporter.hpp"
 #include "casm/assembler.hpp"
 #include "casm/runtime.hpp"
+#include "core/corpus.hpp"
 #include "rop/gadget.hpp"
 #include "sim/kernel.hpp"
+#include "support/parallel.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
 
 using namespace crs;
 
+// Steady-state retired-instructions/s: one machine built up front, each
+// iteration runs a fixed instruction chunk (the workload restarts in-place
+// when it halts, like a looping service). Arg(1)/Arg(0) toggle the decode
+// cache so the on/off speedup is tracked by the same benchmark.
 void BM_CpuThroughput(benchmark::State& state) {
   workloads::WorkloadOptions opt;
   opt.scale = 100000;
   const auto prog = workloads::build_workload("bitcount", opt);
+  sim::MachineConfig mc;
+  mc.cpu.decode_cache = state.range(0) != 0;
+  sim::Machine machine(mc);
+  sim::Kernel kernel(machine);
+  kernel.register_binary("/bin/w", prog);
+  kernel.start_with_strings("/bin/w", {"w"});
+  constexpr std::uint64_t kChunk = 500'000;
+  std::int64_t executed = 0;
   for (auto _ : state) {
-    state.PauseTiming();
-    sim::Machine machine;
-    sim::Kernel kernel(machine);
-    kernel.register_binary("/bin/w", prog);
-    kernel.start_with_strings("/bin/w", {"w"});
-    state.ResumeTiming();
-    kernel.run(2'000'000'000);
-    state.SetItemsProcessed(state.items_processed() +
-                            static_cast<std::int64_t>(machine.cpu().retired()));
+    const std::uint64_t before = machine.cpu().retired();
+    kernel.run(kChunk);
+    if (machine.cpu().halted()) kernel.start_with_strings("/bin/w", {"w"});
+    executed += static_cast<std::int64_t>(machine.cpu().retired() - before);
   }
+  state.SetItemsProcessed(executed);
 }
-BENCHMARK(BM_CpuThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CpuThroughput)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+// Thread-count sweep over the parallel experiment runner: a small benign
+// corpus build (windows/s). Identical output for every Arg by construction;
+// wall time is what varies with the worker count.
+void BM_CorpusThreads(benchmark::State& state) {
+  core::CorpusConfig cc;
+  cc.windows_per_class = 64;
+  cc.host_scale = 400;
+  cc.seed = 9;
+  std::int64_t windows = 0;
+  for (auto _ : state) {
+    set_thread_override(static_cast<unsigned>(state.range(0)));
+    const auto corpus = core::build_benign_corpus(cc);
+    set_thread_override(0);
+    windows += static_cast<std::int64_t>(corpus.size());
+  }
+  state.SetItemsProcessed(windows);
+}
+BENCHMARK(BM_CorpusThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CacheAccess(benchmark::State& state) {
   sim::MemoryHierarchy hier;
@@ -109,4 +146,6 @@ BENCHMARK(BM_SpectreEndToEnd)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return crs::bench::run_micro_benchmarks(argc, argv);
+}

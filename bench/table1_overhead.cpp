@@ -14,8 +14,10 @@
 #include "core/overhead.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace crs;
+  bench::BenchIo io(argc, argv);
+  bench::WallTimer timer;
   bench::print_header("Table I — performance overhead in evaluated benchmarks",
                       "Table I (Math, Bitcount 50M/100M, SHA 1/2)");
 
@@ -59,5 +61,7 @@ int main() {
   bench::shape_check("bitcount has the highest original IPC (paper: 3.04 "
                      "vs 1.94 Math / 0.74 SHA)",
                      ipc_bc > ipc_math && ipc_bc > ipc_sha);
+  // 5 benchmark rows, each measured 3 ways (original/offline/online).
+  io.emit("table1_overhead", timer.ms(), 15.0 / (timer.ms() / 1e3));
   return 0;
 }

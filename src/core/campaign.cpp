@@ -4,6 +4,7 @@
 
 #include "hid/features.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 
 namespace crs::core {
 
@@ -47,17 +48,21 @@ CampaignResult run_campaign(const CampaignConfig& config,
   perturb::VariantMutator mutator(config.scenario.perturb_params,
                                   config.seed ^ 0x77);
 
-  CampaignResult result;
-  for (int attempt = 1; attempt <= config.attempts; ++attempt) {
+  // One attempt: run the scenario and score it against `detector`. The
+  // detector's predict/evaluate paths are const and pure, so concurrent
+  // attempts may share it read-only.
+  const auto run_attempt = [&](int attempt,
+                               const perturb::PerturbParams& params,
+                               ScenarioRun* run_out) {
     ScenarioConfig scenario = config.scenario;
     scenario.seed = config.seed * 7919 + static_cast<std::uint64_t>(attempt);
-    scenario.perturb_params = mutator.current();
+    scenario.perturb_params = params;
 
-    const ScenarioRun run = run_scenario(scenario);
+    ScenarioRun run = run_scenario(scenario);
 
     AttemptRecord record;
     record.attempt = attempt;
-    record.params = mutator.current();
+    record.params = params;
     record.secret_recovered = run.secret_recovered;
     record.host_ipc = run.host_ipc;
     record.attack_window_count = run.attack_windows.size();
@@ -71,6 +76,31 @@ CampaignResult run_campaign(const CampaignConfig& config,
                               : static_cast<double>(cm.fp) /
                                     static_cast<double>(cm.fp + cm.tn);
     }
+    if (run_out != nullptr) *run_out = std::move(run);
+    return record;
+  };
+
+  CampaignResult result;
+  if (!config.online_hid && !config.dynamic_perturbation) {
+    // Offline campaign: the detector never refits and the mutator never
+    // advances, so attempts are independent — run them on the pool. Each
+    // attempt derives everything from its index (the seed formula matches
+    // the serial loop) and records land in index order: the result is
+    // bit-identical to the serial path for any thread count.
+    ThreadPool pool;
+    result.attempts = parallel_map<AttemptRecord>(
+        pool, static_cast<std::size_t>(config.attempts), [&](std::size_t i) {
+          return run_attempt(static_cast<int>(i) + 1, mutator.current(),
+                             nullptr);
+        });
+    return result;
+  }
+
+  // Online / dynamic campaign: attempt k's detector (and possibly mutator)
+  // state depends on attempt k-1's outcome — inherently serial.
+  for (int attempt = 1; attempt <= config.attempts; ++attempt) {
+    ScenarioRun run;
+    AttemptRecord record = run_attempt(attempt, mutator.current(), &run);
 
     if (config.online_hid && !run.attack_windows.empty()) {
       // Paper §II-E: the online HID retrains on newly profiled traces of

@@ -2,6 +2,7 @@
 
 #include "hid/profiler.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "workloads/workloads.hpp"
@@ -102,13 +103,26 @@ std::vector<OverheadRow> table_one(const OverheadConfig& config) {
   // Paper Table I rows. MiBench's operation counts are divided down for
   // simulation speed (documented in EXPERIMENTS.md); hosts are sized so
   // the injected attack is a ~1-3% sliver of the run, the paper's regime.
-  return {
-      measure_overhead("Math", "basicmath", 400000, config),
-      measure_overhead("Bitcount 50M", "bitcount", 1500000, config),
-      measure_overhead("Bitcount 100M", "bitcount", 3000000, config),
-      measure_overhead("SHA 1", "sha", 12000, config),
-      measure_overhead("SHA 2", "sha", 24000, config),
+  // Each row seeds its own Rng/mutator from `config` alone, so rows are
+  // independent: run them on the pool and keep table order by index.
+  struct RowSpec {
+    const char* label;
+    const char* host;
+    std::uint64_t scale;
   };
+  static constexpr RowSpec kRows[] = {
+      {"Math", "basicmath", 400000},
+      {"Bitcount 50M", "bitcount", 1500000},
+      {"Bitcount 100M", "bitcount", 3000000},
+      {"SHA 1", "sha", 12000},
+      {"SHA 2", "sha", 24000},
+  };
+  ThreadPool pool;
+  return parallel_map<OverheadRow>(
+      pool, std::size(kRows), [&](std::size_t i) {
+        return measure_overhead(kRows[i].label, kRows[i].host, kRows[i].scale,
+                                config);
+      });
 }
 
 }  // namespace crs::core

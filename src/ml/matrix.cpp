@@ -1,5 +1,7 @@
 #include "ml/matrix.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace crs::ml {
@@ -50,13 +52,28 @@ void Matrix::append_row(std::span<const double> values) {
 Matrix Matrix::multiply(const Matrix& other) const {
   CRS_ENSURE(cols_ == other.rows_, "matrix shape mismatch in multiply");
   Matrix out(rows_, other.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = values_[i * cols_ + k];
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        out.values_[i * other.cols_ + j] +=
-            aik * other.values_[k * other.cols_ + j];
+  if (rows_ == 0 || cols_ == 0 || other.cols_ == 0) return out;
+  // Pre-transpose the RHS so every inner product reads both operands with
+  // unit stride, then tile the i/j loops so a block of B^T rows stays
+  // cache-resident across a block of A rows. Each output element is one
+  // contiguous k-ascending accumulation, so the result does not depend on
+  // the tile size. The old `aik == 0.0` skip is gone: it made dense matmul
+  // cost data-dependent; sparsity belongs in an explicit sparse path.
+  const Matrix bt = other.transposed();
+  constexpr std::size_t kTile = 32;
+  for (std::size_t ib = 0; ib < rows_; ib += kTile) {
+    const std::size_t iend = std::min(rows_, ib + kTile);
+    for (std::size_t jb = 0; jb < other.cols_; jb += kTile) {
+      const std::size_t jend = std::min(other.cols_, jb + kTile);
+      for (std::size_t i = ib; i < iend; ++i) {
+        const double* arow = &values_[i * cols_];
+        double* orow = &out.values_[i * other.cols_];
+        for (std::size_t j = jb; j < jend; ++j) {
+          const double* brow = &bt.values_[j * cols_];
+          double s = 0.0;
+          for (std::size_t k = 0; k < cols_; ++k) s += arow[k] * brow[k];
+          orow[j] = s;
+        }
       }
     }
   }

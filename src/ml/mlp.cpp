@@ -40,28 +40,26 @@ std::size_t Mlp::parameter_count() const {
   return n;
 }
 
-std::vector<double> Mlp::forward(
-    std::span<const double> x,
-    std::vector<std::vector<double>>* activations) const {
-  std::vector<double> cur(x.begin(), x.end());
-  if (activations != nullptr) activations->push_back(cur);
+void Mlp::forward_into(std::span<const double> x,
+                       std::vector<std::vector<double>>& acts) const {
+  acts.resize(layers_.size() + 1);
+  acts[0].assign(x.begin(), x.end());
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     const Layer& layer = layers_[li];
     const bool is_output = li + 1 == layers_.size();
-    std::vector<double> next(layer.b);
+    const auto& cur = acts[li];
+    auto& next = acts[li + 1];
+    next.assign(layer.b.begin(), layer.b.end());
     for (std::size_t i = 0; i < layer.w.rows(); ++i) {
       const double xi = cur[i];
-      if (xi == 0.0) continue;
+      if (xi == 0.0) continue;  // ReLU emits exact zeros: skip dead units
       const auto wrow = layer.w.row(i);
       for (std::size_t j = 0; j < wrow.size(); ++j) next[j] += xi * wrow[j];
     }
     for (auto& v : next) {
       v = is_output ? sigmoid(v) : std::max(0.0, v);  // ReLU hidden
     }
-    cur = std::move(next);
-    if (activations != nullptr) activations->push_back(cur);
   }
-  return cur;
 }
 
 void Mlp::fit(const Matrix& x, const std::vector<int>& y) {
@@ -118,6 +116,13 @@ void Mlp::train_epochs(const Matrix& x, const std::vector<int>& y, int epochs,
     gb.emplace_back(layer.b.size(), 0.0);
   }
 
+  // Activation/delta workspaces, reused across samples and epochs: the
+  // per-sample inner loop performs no allocations once these reach their
+  // steady-state capacities.
+  std::vector<std::vector<double>> acts;
+  std::vector<double> delta;
+  std::vector<double> prev;
+
   for (int epoch = 0; epoch < epochs; ++epoch) {
     rng.shuffle(order);
     for (std::size_t start = 0; start < order.size();
@@ -131,10 +136,9 @@ void Mlp::train_epochs(const Matrix& x, const std::vector<int>& y, int epochs,
 
       for (std::size_t oi = start; oi < end; ++oi) {
         const std::size_t i = order[oi];
-        std::vector<std::vector<double>> acts;
-        const auto out = forward(x.row(i), &acts);
+        forward_into(x.row(i), acts);
         // delta at output: sigmoid + BCE -> (p - y)
-        std::vector<double> delta{out[0] - static_cast<double>(y[i])};
+        delta.assign(1, acts.back()[0] - static_cast<double>(y[i]));
         for (std::size_t li = layers_.size(); li-- > 0;) {
           const auto& a_in = acts[li];
           // grads
@@ -149,12 +153,12 @@ void Mlp::train_epochs(const Matrix& x, const std::vector<int>& y, int epochs,
           for (std::size_t c = 0; c < delta.size(); ++c) gb[li][c] += delta[c];
           if (li == 0) break;
           // propagate: delta_prev = W * delta, gated by ReLU derivative
-          std::vector<double> prev(layers_[li].w.rows(), 0.0);
+          prev.assign(layers_[li].w.rows(), 0.0);
           for (std::size_t r = 0; r < layers_[li].w.rows(); ++r) {
             prev[r] = dot(layers_[li].w.row(r), delta);
             if (acts[li][r] <= 0.0) prev[r] = 0.0;  // ReLU'
           }
-          delta = std::move(prev);
+          delta.swap(prev);
         }
       }
 
@@ -191,7 +195,11 @@ void Mlp::train_epochs(const Matrix& x, const std::vector<int>& y, int epochs,
 double Mlp::predict_proba(std::span<const double> x) const {
   CRS_ENSURE(!layers_.empty(), "MLP not fitted");
   CRS_ENSURE(x.size() == layers_.front().w.rows(), "feature width mismatch");
-  return forward(x, nullptr)[0];
+  // Local workspace: predict_proba must stay thread-safe (the parallel
+  // campaign runner scores windows concurrently on a shared detector).
+  std::vector<std::vector<double>> acts;
+  forward_into(x, acts);
+  return acts.back()[0];
 }
 
 MlpConfig mlp3_config() {

@@ -44,9 +44,12 @@ class Mlp final : public Classifier {
     std::vector<double> mb, vb;
   };
 
-  std::vector<double> forward(std::span<const double> x,
-                              std::vector<std::vector<double>>* activations)
-      const;
+  /// Forward pass writing into a caller-owned workspace: `acts[0]` is the
+  /// input, `acts[li + 1]` layer li's activations. The workspace's buffers
+  /// are reused across calls (no per-sample allocation on the training
+  /// path — the vectors keep their capacity between samples and epochs).
+  void forward_into(std::span<const double> x,
+                    std::vector<std::vector<double>>& acts) const;
   void train_epochs(const Matrix& x, const std::vector<int>& y, int epochs,
                     Rng& rng);
 

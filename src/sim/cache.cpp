@@ -16,19 +16,22 @@ CacheLevel::CacheLevel(const CacheConfig& config) : config_(config) {
   num_sets_ = config.size_bytes / (config.line_size * config.ways);
   CRS_ENSURE(is_pow2(num_sets_), "number of sets must be a power of two");
   ways_.resize(static_cast<std::size_t>(num_sets_) * config.ways);
+  while ((1u << line_shift_) < config_.line_size) ++line_shift_;
+  while ((1u << sets_shift_) < num_sets_) ++sets_shift_;
 }
 
 std::uint64_t CacheLevel::set_index(std::uint64_t addr) const {
-  return (addr / config_.line_size) & (num_sets_ - 1);
+  return (addr >> line_shift_) & (num_sets_ - 1);
 }
 
 std::uint64_t CacheLevel::tag_of(std::uint64_t addr) const {
-  return (addr / config_.line_size) / num_sets_;
+  return addr >> (line_shift_ + sets_shift_);
 }
 
-bool CacheLevel::access(std::uint64_t addr) {
-  const std::uint64_t set = set_index(addr);
-  const std::uint64_t tag = tag_of(addr);
+bool CacheLevel::access_search(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t tag = line >> sets_shift_;
+  const std::uint64_t set = line & (num_sets_ - 1);
   Way* base = &ways_[set * config_.ways];
   ++use_counter_;
   Way* victim = base;
@@ -36,6 +39,8 @@ bool CacheLevel::access(std::uint64_t addr) {
     Way& way = base[w];
     if (way.valid && way.tag == tag) {
       way.lru = use_counter_;
+      mru_line_ = line;
+      mru_way_ = &way;
       return true;
     }
     if (!way.valid) {
@@ -47,6 +52,8 @@ bool CacheLevel::access(std::uint64_t addr) {
   victim->valid = true;
   victim->tag = tag;
   victim->lru = use_counter_;
+  mru_line_ = line;
+  mru_way_ = victim;
   return false;
 }
 
@@ -89,20 +96,6 @@ AccessOutcome MemoryHierarchy::access_data(std::uint64_t addr) {
   }
   out.l2_hit = l2_.access(addr);
   out.latency = out.l2_hit ? config_.timings.l2_hit : config_.timings.memory;
-  return out;
-}
-
-MemoryHierarchy::FetchOutcome MemoryHierarchy::access_fetch(
-    std::uint64_t addr) {
-  FetchOutcome out;
-  out.l1i_hit = l1i_.access(addr);
-  if (out.l1i_hit) {
-    out.latency = config_.timings.fetch_l1_hit;
-    return out;
-  }
-  // Instruction misses are backed by the shared L2 as well.
-  const bool l2_hit = l2_.access(addr);
-  out.latency = config_.timings.fetch_l1_miss + (l2_hit ? 0 : config_.timings.memory / 4);
   return out;
 }
 

@@ -26,7 +26,21 @@ class CacheLevel {
 
   /// Touches the line containing `addr`: returns true on hit. On miss the
   /// line is filled (LRU victim evicted).
-  bool access(std::uint64_t addr);
+  ///
+  /// The MRU-line memo is inlined: consecutive accesses to one line
+  /// (instruction fetch walks 8 slots per 64-byte line) skip the
+  /// associative search. Replacement state is updated exactly as the search
+  /// path would, and the valid+tag recheck makes eviction/flush of the
+  /// memoized way fall through to the search.
+  bool access(std::uint64_t addr) {
+    const std::uint64_t line = addr >> line_shift_;
+    if (line == mru_line_ && mru_way_ != nullptr && mru_way_->valid &&
+        mru_way_->tag == (line >> sets_shift_)) {
+      mru_way_->lru = ++use_counter_;
+      return true;
+    }
+    return access_search(addr);
+  }
 
   /// True when the line is resident. No state change (for tests/debug).
   bool probe(std::uint64_t addr) const;
@@ -50,10 +64,21 @@ class CacheLevel {
   std::uint64_t set_index(std::uint64_t addr) const;
   std::uint64_t tag_of(std::uint64_t addr) const;
 
+  /// Associative-search path for `access` (memo miss).
+  bool access_search(std::uint64_t addr);
+
   CacheConfig config_;
   std::uint32_t num_sets_ = 0;
+  // line_size and num_sets are enforced powers of two; the hot path uses
+  // shifts instead of dividing by the runtime config values.
+  std::uint32_t line_shift_ = 0;  ///< log2(line_size)
+  std::uint32_t sets_shift_ = 0;  ///< log2(num_sets)
   std::uint64_t use_counter_ = 0;
   std::vector<Way> ways_;  // num_sets_ * config_.ways, row-major by set
+  // Last-hit-line memo (pure speed; ways_ never reallocates after the
+  // constructor, so the pointer stays valid for the object's lifetime).
+  std::uint64_t mru_line_ = ~0ull;
+  Way* mru_way_ = nullptr;
 };
 
 /// Latencies in cycles for each residence level.
@@ -89,12 +114,25 @@ class MemoryHierarchy {
 
   AccessOutcome access_data(std::uint64_t addr);
 
-  /// Instruction fetch: returns {hit, stall_cycles}.
+  /// Instruction fetch: returns {hit, stall_cycles}. Inlined — this runs
+  /// once per simulated instruction.
   struct FetchOutcome {
     bool l1i_hit = false;
     std::uint32_t latency = 0;
   };
-  FetchOutcome access_fetch(std::uint64_t addr);
+  FetchOutcome access_fetch(std::uint64_t addr) {
+    FetchOutcome out;
+    out.l1i_hit = l1i_.access(addr);
+    if (out.l1i_hit) {
+      out.latency = config_.timings.fetch_l1_hit;
+      return out;
+    }
+    // Instruction misses are backed by the shared L2 as well.
+    const bool l2_hit = l2_.access(addr);
+    out.latency = config_.timings.fetch_l1_miss +
+                  (l2_hit ? 0 : config_.timings.memory / 4);
+    return out;
+  }
 
   /// clflush semantics: evict the data line everywhere.
   void flush_data(std::uint64_t addr);

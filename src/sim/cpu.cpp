@@ -16,7 +16,8 @@ Cpu::Cpu(Memory& memory, MemoryHierarchy& hierarchy,
       hierarchy_(hierarchy),
       predictor_(predictor),
       pmu_(pmu),
-      config_(config) {}
+      config_(config),
+      dcache_(memory) {}
 
 void Cpu::reset(std::uint64_t entry_pc, std::uint64_t stack_top) {
   for (auto& r : regs_) r = 0;
@@ -57,7 +58,7 @@ void Cpu::attribute_data_access(const AccessOutcome& outcome) {
   }
 }
 
-std::uint64_t Cpu::alu_result(const Instruction& instr, std::uint64_t a,
+inline std::uint64_t Cpu::alu_result(const Instruction& instr, std::uint64_t a,
                               std::uint64_t b) const {
   const auto imm64 = static_cast<std::uint64_t>(
       static_cast<std::int64_t>(instr.imm));
@@ -116,12 +117,13 @@ std::uint64_t Cpu::alu_result(const Instruction& instr, std::uint64_t a,
   }
 }
 
-void Cpu::exec_alu(const Instruction& instr) {
-  const std::uint64_t a = isa::reads_rs1(instr.op) ? regs_[instr.rs1] : 0;
-  const std::uint64_t b = isa::reads_rs2(instr.op) ? regs_[instr.rs2] : 0;
+inline void Cpu::exec_alu(const DecodedSlot& slot) {
+  const Instruction& instr = slot.instr;
+  const std::uint64_t a = slot.reads_rs1 ? regs_[instr.rs1] : 0;
+  const std::uint64_t b = slot.reads_rs2 ? regs_[instr.rs2] : 0;
   std::uint64_t issue = cycle_;
-  if (isa::reads_rs1(instr.op)) issue = std::max(issue, ready_at(instr.rs1));
-  if (isa::reads_rs2(instr.op)) issue = std::max(issue, ready_at(instr.rs2));
+  if (slot.reads_rs1) issue = std::max(issue, ready_at(instr.rs1));
+  if (slot.reads_rs2) issue = std::max(issue, ready_at(instr.rs2));
   std::uint32_t latency = 1;
   if (instr.op == Opcode::kMul || instr.op == Opcode::kMulImm) {
     latency = config_.mul_latency;
@@ -361,6 +363,9 @@ void Cpu::exec_misc(const Instruction& instr) {
         return;
       }
       hierarchy_.flush_data(ea);
+      // Flushing a mapped code line also drops its pre-decoded state; the
+      // next fetch from that page re-decodes from memory.
+      dcache_.invalidate(ea);
       pmu_.add(Event::kClflushes);
       cycle_ += hierarchy_.timings().flush_cost;
       pc_ += isa::kInstructionSize;
@@ -395,58 +400,76 @@ void Cpu::exec_misc(const Instruction& instr) {
 void Cpu::step() {
   if (halted_) return;
 
-  if (!memory_.check(pc_, isa::kInstructionSize, AccessKind::kExecute)) {
-    raise_fault(FaultKind::kFetchPermission, pc_);
-    return;
+  // Front-end fetch: DEP check, then the I-cache access, then decode. The
+  // decode cache collapses check+decode into one page-version-validated
+  // slot read; unaligned fetch targets (a ROP pivot into mid-instruction
+  // bytes) fall back to the uncached path, which handles page straddling.
+  DecodedSlot local;
+  const DecodedSlot* fetched;
+  if (config_.decode_cache && (pc_ % isa::kInstructionSize) == 0) {
+    fetched = dcache_.lookup(pc_);
+    if (fetched == nullptr) {
+      raise_fault(FaultKind::kFetchPermission, pc_);
+      return;
+    }
+  } else {
+    if (!memory_.check(pc_, isa::kInstructionSize, AccessKind::kExecute)) {
+      raise_fault(FaultKind::kFetchPermission, pc_);
+      return;
+    }
+    local = decode_slot(memory_, pc_);
+    fetched = &local;
   }
   const auto fetch = hierarchy_.access_fetch(pc_);
   pmu_.add(Event::kL1iAccesses);
   if (!fetch.l1i_hit) pmu_.add(Event::kL1iMisses);
   cycle_ += fetch.latency;
 
-  const auto bytes = memory_.read_span(pc_, isa::kInstructionSize);
-  const auto instr = isa::decode(bytes);
-  if (!instr.has_value()) {
+  if (fetched->state == DecodedSlot::kIllegal) {
     raise_fault(FaultKind::kIllegalInstruction, pc_);
     return;
   }
+  // Copy out of the cache: stores and wrong-path episodes below may refresh
+  // the page this slot lives in.
+  const DecodedSlot slot = *fetched;
+  const Instruction& instr = slot.instr;
 
   pmu_.add(Event::kInstructions);
   ++retired_;
 
-  switch (isa::op_class(instr->op)) {
+  switch (slot.cls) {
     case OpClass::kAlu:
-      exec_alu(*instr);
+      exec_alu(slot);
       break;
     case OpClass::kLoad:
-      exec_load(*instr);
+      exec_load(instr);
       break;
     case OpClass::kStore:
-      exec_store(*instr);
+      exec_store(instr);
       break;
     case OpClass::kCondBranch:
-      exec_cond_branch(*instr);
+      exec_cond_branch(instr);
       break;
     case OpClass::kJump:
       cycle_ += 1;
-      pc_ = static_cast<std::uint32_t>(instr->imm);
+      pc_ = static_cast<std::uint32_t>(instr.imm);
       break;
     case OpClass::kIndirectJump:
-      exec_indirect_jump(*instr);
+      exec_indirect_jump(instr);
       break;
     case OpClass::kCall:
     case OpClass::kIndirectCall:
-      exec_call(*instr);
+      exec_call(instr);
       break;
     case OpClass::kRet:
-      exec_ret(*instr);
+      exec_ret(instr);
       break;
     case OpClass::kPush:
     case OpClass::kPop:
-      exec_push_pop(*instr);
+      exec_push_pop(instr);
       break;
     default:
-      exec_misc(*instr);
+      exec_misc(instr);
       break;
   }
 
@@ -523,28 +546,38 @@ void Cpu::run_wrong_path(std::uint64_t spec_pc, std::uint64_t budget) {
   std::uint64_t pc = spec_pc;
 
   for (std::uint64_t executed = 0; executed < budget; ++executed) {
-    if (!memory_.check(pc, isa::kInstructionSize, AccessKind::kExecute)) {
-      break;  // transient fault: squash silently
+    // Wrong-path fetches go through the same decode cache as architectural
+    // ones: they see the same DEP faults and the same decoded bytes.
+    DecodedSlot wlocal;
+    const DecodedSlot* fetched;
+    if (config_.decode_cache && (pc % isa::kInstructionSize) == 0) {
+      fetched = dcache_.lookup(pc);
+      if (fetched == nullptr) break;  // transient fault: squash silently
+    } else {
+      if (!memory_.check(pc, isa::kInstructionSize, AccessKind::kExecute)) {
+        break;  // transient fault: squash silently
+      }
+      wlocal = decode_slot(memory_, pc);
+      fetched = &wlocal;
     }
     // Wrong-path fetches still warm the instruction cache.
     const auto fetch = hierarchy_.access_fetch(pc);
     pmu_.add(Event::kL1iAccesses);
     if (!fetch.l1i_hit) pmu_.add(Event::kL1iMisses);
 
-    const auto bytes = memory_.read_span(pc, isa::kInstructionSize);
-    const auto decoded = isa::decode(bytes);
-    if (!decoded.has_value()) break;
-    const Instruction& instr = *decoded;
+    if (fetched->state == DecodedSlot::kIllegal) break;
+    const DecodedSlot slot = *fetched;  // copy: the loop re-enters the cache
+    const Instruction& instr = slot.instr;
     pmu_.add(Event::kSpecInstructions);
 
-    switch (isa::op_class(instr.op)) {
+    switch (slot.cls) {
       case OpClass::kNop:
         pc += isa::kInstructionSize;
         break;
       case OpClass::kAlu:
         spec_regs[instr.rd] =
-            alu_result(instr, isa::reads_rs1(instr.op) ? spec_regs[instr.rs1] : 0,
-                       isa::reads_rs2(instr.op) ? spec_regs[instr.rs2] : 0);
+            alu_result(instr, slot.reads_rs1 ? spec_regs[instr.rs1] : 0,
+                       slot.reads_rs2 ? spec_regs[instr.rs2] : 0);
         pc += isa::kInstructionSize;
         break;
       case OpClass::kLoad: {

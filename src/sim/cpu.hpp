@@ -31,6 +31,7 @@
 #include "isa/isa.hpp"
 #include "sim/branch_predictor.hpp"
 #include "sim/cache.hpp"
+#include "sim/decode_cache.hpp"
 #include "sim/memory.hpp"
 #include "sim/pmu.hpp"
 
@@ -53,6 +54,11 @@ struct CpuConfig {
   /// Extra latency for multiply / divide results.
   std::uint32_t mul_latency = 3;
   std::uint32_t div_latency = 12;
+  /// Serve fetches from the pre-decoded per-page cache instead of decoding
+  /// every instruction word. Purely a simulator-speed optimisation: it must
+  /// never change architectural or PMU-visible behaviour (page-version
+  /// invalidation preserves self-modifying-code and DEP semantics).
+  bool decode_cache = true;
 };
 
 enum class FaultKind {
@@ -125,10 +131,13 @@ class Cpu {
   BranchPredictor& predictor() { return predictor_; }
   Pmu& pmu() { return pmu_; }
   const CpuConfig& config() const { return config_; }
+  const DecodeCache& decode_cache() const { return dcache_; }
 
  private:
   // -- architectural execution helpers ------------------------------------
-  void exec_alu(const isa::Instruction& instr);
+  // exec_alu covers >90% of a typical instruction stream; forcing it (and
+  // alu_result) into the dispatch loop removes a call per instruction.
+  __attribute__((always_inline)) void exec_alu(const DecodedSlot& slot);
   void exec_load(const isa::Instruction& instr);
   void exec_store(const isa::Instruction& instr);
   void exec_cond_branch(const isa::Instruction& instr);
@@ -148,8 +157,8 @@ class Cpu {
     }
   }
   std::uint64_t max_ready() const;
-  std::uint64_t alu_result(const isa::Instruction& instr, std::uint64_t a,
-                           std::uint64_t b) const;
+  __attribute__((always_inline)) std::uint64_t alu_result(
+      const isa::Instruction& instr, std::uint64_t a, std::uint64_t b) const;
 
   /// Counts L1D/L2 access+miss events for a data access.
   void attribute_data_access(const AccessOutcome& outcome);
@@ -165,6 +174,7 @@ class Cpu {
   BranchPredictor& predictor_;
   Pmu& pmu_;
   CpuConfig config_;
+  DecodeCache dcache_;
 
   std::uint64_t regs_[isa::kNumRegisters] = {};
   std::uint64_t reg_ready_[isa::kNumRegisters] = {};

@@ -1,0 +1,66 @@
+#include "sim/decode_cache.hpp"
+
+namespace crs::sim {
+
+DecodedSlot decode_slot(const Memory& memory, std::uint64_t pc) {
+  DecodedSlot slot;
+  const auto decoded = isa::decode(memory.read_span(pc, isa::kInstructionSize));
+  if (decoded.has_value()) {
+    slot.instr = *decoded;
+    slot.cls = isa::op_class(decoded->op);
+    slot.reads_rs1 = isa::reads_rs1(decoded->op);
+    slot.reads_rs2 = isa::reads_rs2(decoded->op);
+    slot.state = DecodedSlot::kValid;
+  } else {
+    slot.state = DecodedSlot::kIllegal;
+  }
+  return slot;
+}
+
+const DecodedSlot* DecodeCache::lookup_slow(std::uint64_t pc) {
+  const std::uint64_t page_index = pc / Memory::kPageSize;
+  if (page_index >= memory_.page_count()) return nullptr;  // out of range
+  if (pages_.size() <= page_index) pages_.resize(memory_.page_count());
+
+  Page* page = pages_[page_index].get();
+  if (page == nullptr) {
+    pages_[page_index] = std::make_unique<Page>();
+    page = pages_[page_index].get();
+    page->slots.resize(kSlotsPerPage);
+  }
+
+  const std::uint32_t version = memory_.page_version(page_index);
+  if (page->version != version) {
+    // Contents or permissions moved under us: drop every decoded slot and
+    // re-sample the execute bit. Slots refill lazily as they are fetched.
+    for (auto& slot : page->slots) slot.state = DecodedSlot::kEmpty;
+    page->exec =
+        (memory_.permissions_at(pc) & static_cast<std::uint8_t>(kPermExec)) !=
+        0;
+    page->version = version;
+    ++stats_.page_refreshes;
+  }
+  if (!page->exec) return nullptr;  // DEP: caller raises kFetchPermission
+
+  DecodedSlot& slot =
+      page->slots[(pc & (Memory::kPageSize - 1)) / isa::kInstructionSize];
+  if (slot.state == DecodedSlot::kEmpty) {
+    slot = decode_slot(memory_, pc);
+    ++stats_.slot_decodes;
+  } else {
+    ++stats_.hits;
+  }
+  return &slot;
+}
+
+void DecodeCache::invalidate(std::uint64_t addr) {
+  const std::uint64_t page_index = addr / Memory::kPageSize;
+  if (page_index >= pages_.size()) return;
+  Page* page = pages_[page_index].get();
+  if (page == nullptr || page->version == 0) return;
+  // Force a refresh on the next lookup; version 0 never matches Memory's.
+  page->version = 0;
+  ++stats_.explicit_invalidations;
+}
+
+}  // namespace crs::sim

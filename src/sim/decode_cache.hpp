@@ -1,0 +1,107 @@
+// Pre-decoded instruction cache.
+//
+// Decoding is the simulator's hottest path: `Cpu::step()` used to call
+// `memory_.read_span` + `isa::decode` for every architectural and wrong-path
+// instruction. This cache decodes each 8-byte slot of a page once and serves
+// dispatch-ready `DecodedSlot`s by index afterwards.
+//
+// Coherence is by page version: `Memory` bumps a per-page counter on every
+// write and permission change, and `DecodeCache::lookup` refreshes a page
+// whose version moved before serving from it. That covers all three
+// invalidation sources with no extra hooks:
+//   * stores into executable pages (self-modifying code),
+//   * execve overlays (the kernel rewrites segments with `write_bytes`),
+//   * mprotect-style permission changes (a page remapped non-executable must
+//     not serve stale decoded instructions — DEP is enforced per lookup).
+// `clflush` of a code line additionally drops the page's decoded state
+// explicitly, mirroring how flushing code lines forces a front-end refetch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "sim/memory.hpp"
+
+namespace crs::sim {
+
+/// One instruction decoded into its dispatch-ready form: the architectural
+/// fields plus the per-step classification the dispatch loop needs.
+struct DecodedSlot {
+  enum State : std::uint8_t { kEmpty = 0, kValid, kIllegal };
+  isa::Instruction instr{};
+  isa::OpClass cls = isa::OpClass::kNop;
+  bool reads_rs1 = false;
+  bool reads_rs2 = false;
+  State state = kEmpty;
+};
+
+/// Decodes the aligned instruction at `pc` straight from memory (no caching);
+/// `pc + 8` must be in range. Shared by the cache fill and the uncached
+/// fallback path in `Cpu`.
+DecodedSlot decode_slot(const Memory& memory, std::uint64_t pc);
+
+struct DecodeCacheStats {
+  std::uint64_t hits = 0;            ///< lookups served without decoding
+  std::uint64_t slot_decodes = 0;    ///< isa::decode calls performed
+  std::uint64_t page_refreshes = 0;  ///< version-mismatch page resets
+  std::uint64_t explicit_invalidations = 0;  ///< clflush-driven page drops
+};
+
+class DecodeCache {
+ public:
+  explicit DecodeCache(const Memory& memory) : memory_(memory) {}
+
+  /// Decoded slot for the 8-byte-aligned `pc`. Returns nullptr iff the page
+  /// does not grant execute permission (the caller raises the DEP fault);
+  /// otherwise the slot is kValid or kIllegal. Pages are (re)decoded lazily;
+  /// a page whose memory version moved is refreshed before use. The returned
+  /// pointer is invalidated by the next lookup/invalidate — copy the slot if
+  /// execution can re-enter the cache (wrong-path episodes do).
+  ///
+  /// The common case — page allocated, version current, slot decoded — is
+  /// inlined here; this runs once per simulated instruction, so an
+  /// out-of-line call per lookup costs more than the cache saves.
+  const DecodedSlot* lookup(std::uint64_t pc) {
+    const std::uint64_t page_index = pc / Memory::kPageSize;
+    if (page_index < pages_.size()) {
+      Page* page = pages_[page_index].get();
+      if (page != nullptr && page->version == memory_.page_version(page_index)) {
+        if (!page->exec) return nullptr;  // DEP: caller raises the fault
+        const DecodedSlot& slot =
+            page->slots[(pc & (Memory::kPageSize - 1)) / isa::kInstructionSize];
+        if (slot.state != DecodedSlot::kEmpty) {
+          ++stats_.hits;
+          return &slot;
+        }
+      }
+    }
+    return lookup_slow(pc);
+  }
+
+  /// Drops decoded state for the page containing `addr` (clflush of a code
+  /// line): the next fetch from that page re-decodes from memory.
+  void invalidate(std::uint64_t addr);
+
+  const DecodeCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Page {
+    std::uint32_t version = 0;  ///< 0 never matches (Memory starts at 1)
+    bool exec = false;
+    std::vector<DecodedSlot> slots;
+  };
+
+  static constexpr std::size_t kSlotsPerPage =
+      Memory::kPageSize / isa::kInstructionSize;
+
+  /// Allocation, version-refresh, and first-decode path for `lookup`.
+  const DecodedSlot* lookup_slow(std::uint64_t pc);
+
+  const Memory& memory_;
+  std::vector<std::unique_ptr<Page>> pages_;  // indexed by page number, lazy
+  DecodeCacheStats stats_;
+};
+
+}  // namespace crs::sim

@@ -9,6 +9,7 @@ Memory::Memory(std::uint64_t size_bytes) {
   const std::uint64_t pages = (size_bytes + kPageSize - 1) / kPageSize;
   bytes_.resize(pages * kPageSize, 0);
   perms_.resize(pages, kPermNone);
+  versions_.resize(pages, 1);
 }
 
 void Memory::set_permissions(std::uint64_t addr, std::uint64_t len,
@@ -20,6 +21,9 @@ void Memory::set_permissions(std::uint64_t addr, std::uint64_t len,
   for (std::uint64_t p = first; p <= last; ++p) {
     perms_[p] = static_cast<std::uint8_t>(perm);
   }
+  // Permission changes invalidate derived state too (a page remapped
+  // non-executable must not serve stale decoded instructions).
+  bump_versions(addr, len);
 }
 
 Perm Memory::permissions_at(std::uint64_t addr) const {
@@ -65,6 +69,7 @@ std::uint64_t Memory::read_u64(std::uint64_t addr) const {
 void Memory::write_u8(std::uint64_t addr, std::uint8_t value) {
   CRS_ENSURE(addr < size(), "write_u8 out of range");
   bytes_[addr] = value;
+  ++versions_[addr / kPageSize];
 }
 
 void Memory::write_u64(std::uint64_t addr, std::uint64_t value) {
@@ -73,12 +78,15 @@ void Memory::write_u64(std::uint64_t addr, std::uint64_t value) {
     bytes_[addr + static_cast<std::uint64_t>(i)] =
         static_cast<std::uint8_t>(value >> (8 * i));
   }
+  bump_versions(addr, 8);
 }
 
 void Memory::write_bytes(std::uint64_t addr,
                          std::span<const std::uint8_t> data) {
   CRS_ENSURE(addr + data.size() <= size(), "write_bytes out of range");
+  if (data.empty()) return;
   for (std::size_t i = 0; i < data.size(); ++i) bytes_[addr + i] = data[i];
+  bump_versions(addr, data.size());
 }
 
 std::span<const std::uint8_t> Memory::read_span(std::uint64_t addr,

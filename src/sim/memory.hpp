@@ -67,9 +67,25 @@ class Memory {
   /// Read-only view of the raw backing store (used by the gadget scanner).
   std::span<const std::uint8_t> raw() const { return bytes_; }
 
+  /// Monotonic per-page content version. Every write (write_u8/u64/bytes)
+  /// and every permission change touching a page bumps its version, so
+  /// consumers holding state derived from page contents (the decode cache)
+  /// can detect staleness with one integer compare. Versions start at 1 so
+  /// a consumer initialised to 0 always misses on first use.
+  std::uint32_t page_version(std::uint64_t page_index) const {
+    return page_index < versions_.size() ? versions_[page_index] : 0;
+  }
+
  private:
+  void bump_versions(std::uint64_t addr, std::uint64_t len) {
+    const std::uint64_t first = addr / kPageSize;
+    const std::uint64_t last = (addr + len - 1) / kPageSize;
+    for (std::uint64_t p = first; p <= last; ++p) ++versions_[p];
+  }
+
   std::vector<std::uint8_t> bytes_;
   std::vector<std::uint8_t> perms_;  // one Perm byte per page
+  std::vector<std::uint32_t> versions_;  // one content version per page
 };
 
 }  // namespace crs::sim

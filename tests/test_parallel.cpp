@@ -1,0 +1,138 @@
+// Determinism contract of the parallel experiment runner: identical results
+// for any thread count, plus the pool/seed/thread-resolution primitives.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/corpus.hpp"
+#include "hid/features.hpp"
+#include "support/parallel.hpp"
+
+namespace crs {
+namespace {
+
+TEST(ThreadPool, MapPreservesIndexOrderForAnyThreadCount) {
+  const auto square = [](std::size_t i) { return i * i; };
+  std::vector<std::size_t> expected;
+  for (std::size_t i = 0; i < 100; ++i) expected.push_back(i * i);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    EXPECT_EQ(parallel_map<std::size_t>(pool, 100, square), expected)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleItemWork) {
+  ThreadPool pool(4);
+  EXPECT_TRUE(parallel_map<int>(pool, 0, [](std::size_t) { return 1; }).empty());
+  EXPECT_EQ(parallel_map<int>(pool, 1, [](std::size_t) { return 7; }),
+            std::vector<int>{7});
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(pool.for_each_index(
+                     16,
+                     [](std::size_t i) {
+                       if (i == 5) throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+    // The pool survives a throwing job and runs the next one.
+    EXPECT_EQ(parallel_map<int>(pool, 3, [](std::size_t i) {
+                return static_cast<int>(i);
+              }),
+              (std::vector<int>{0, 1, 2}));
+  }
+}
+
+TEST(DeriveSeed, DistinctPerIndexAndBase) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ull, 1ull, 42ull}) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      seen.insert(derive_seed(base, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 300u);  // no collisions across bases or indices
+}
+
+TEST(ResolveThreadCount, PrecedenceIsArgOverrideEnvHardware) {
+  set_thread_override(0);
+  unsetenv("CRS_THREADS");
+  EXPECT_GE(resolve_thread_count(), 1u);  // hardware fallback
+  EXPECT_EQ(resolve_thread_count(3), 3u);  // explicit request wins
+
+  setenv("CRS_THREADS", "5", 1);
+  EXPECT_EQ(resolve_thread_count(), 5u);
+  set_thread_override(2);
+  EXPECT_EQ(resolve_thread_count(), 2u);  // override beats env
+  EXPECT_EQ(resolve_thread_count(7), 7u);  // request still beats override
+  set_thread_override(0);
+  unsetenv("CRS_THREADS");
+}
+
+std::string corpus_fingerprint(const ml::Dataset& d) {
+  std::ostringstream ss;
+  ss.precision(17);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    for (const double v : d.x.row(i)) ss << v << ",";
+    ss << d.y[i] << ";";
+  }
+  return ss.str();
+}
+
+std::string campaign_fingerprint(const core::CampaignResult& r) {
+  std::ostringstream ss;
+  ss.precision(17);
+  for (const auto& a : r.attempts) {
+    ss << a.attempt << ":" << a.detection_rate << ":" << a.benign_fpr << ":"
+       << a.detected << a.evaded << a.mutated_after << a.secret_recovered
+       << ":" << a.host_ipc << ":" << a.attack_window_count << ";";
+  }
+  return ss.str();
+}
+
+// The headline guarantee: corpus construction and an offline campaign give
+// byte-identical results for 1, 2, and 8 worker threads.
+TEST(ParallelDeterminism, CorpusAndCampaignAreThreadCountInvariant) {
+  core::CorpusConfig cc;
+  cc.windows_per_class = 24;
+  cc.host_scale = 300;
+  cc.seed = 1234;
+
+  std::string corpus_ref, campaign_ref;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_thread_override(threads);
+    const auto benign = core::build_benign_corpus(cc);
+    const auto attack = core::build_attack_corpus(cc);
+
+    core::CampaignConfig cfg;
+    cfg.detector.classifier = "MLP";
+    cfg.detector.features = hid::paper_feature_indices();
+    cfg.attempts = 4;
+    cfg.seed = 55;
+    const auto result = core::run_campaign(cfg, benign, attack);
+    set_thread_override(0);
+
+    const std::string corpus_fp =
+        corpus_fingerprint(benign) + "|" + corpus_fingerprint(attack);
+    const std::string campaign_fp = campaign_fingerprint(result);
+    if (threads == 1) {
+      corpus_ref = corpus_fp;
+      campaign_ref = campaign_fp;
+      ASSERT_FALSE(campaign_ref.empty());
+    } else {
+      EXPECT_EQ(corpus_fp, corpus_ref) << "threads=" << threads;
+      EXPECT_EQ(campaign_fp, campaign_ref) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crs

@@ -2,11 +2,17 @@
 //
 //   crsim prog.s [arg1 arg2 ...]     assemble + run, print output and PMU
 //   crsim --disasm prog.s            assemble and print the listing
+//   crsim --threads N ...            pin the worker-pool size for any
+//                                    library code that fans out
+//   crsim --bench-json <path> ...    append a {"name",...} JSON line with
+//                                    the run's wall time and retired/s
 //
 // The runtime library (print/exit_/memcpy/... and the gadget-donating
 // helpers) is linked in automatically, exactly as for the built-in
 // workloads. Use this to write your own victims and attacks.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -16,6 +22,7 @@
 #include "casm/runtime.hpp"
 #include "sim/kernel.hpp"
 #include "support/error.hpp"
+#include "support/parallel.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -36,7 +43,8 @@ int main(int argc, char** argv) {
   using namespace crs;
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: crsim [--disasm] <prog.s> [args...]\n"
+                 "usage: crsim [--disasm] [--threads N] [--bench-json <path>] "
+                 "<prog.s> [args...]\n"
                  "       assembles with the runtime library and runs the "
                  "program on the simulator\n");
     return 2;
@@ -44,10 +52,24 @@ int main(int argc, char** argv) {
 
   try {
     bool disasm = false;
+    std::string json_path;
     int argi = 1;
-    if (std::string(argv[argi]) == "--disasm") {
-      disasm = true;
-      ++argi;
+    while (argi < argc && argv[argi][0] == '-') {
+      const std::string flag = argv[argi];
+      if (flag == "--disasm") {
+        disasm = true;
+        ++argi;
+      } else if (flag == "--threads" && argi + 1 < argc) {
+        set_thread_override(
+            static_cast<unsigned>(std::strtoul(argv[argi + 1], nullptr, 10)));
+        argi += 2;
+      } else if (flag == "--bench-json" && argi + 1 < argc) {
+        json_path = argv[argi + 1];
+        argi += 2;
+      } else {
+        std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+        return 2;
+      }
     }
     if (argi >= argc) {
       std::fprintf(stderr, "missing input file\n");
@@ -70,7 +92,12 @@ int main(int argc, char** argv) {
     sim::Kernel kernel(machine);
     kernel.register_binary(path, program);
     kernel.start_with_strings(path, args);
+    const auto t0 = std::chrono::steady_clock::now();
     const auto reason = kernel.run(2'000'000'000);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
 
     if (!kernel.output_string().empty()) {
       std::printf("%s", kernel.output_string().c_str());
@@ -102,6 +129,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[pmu] %-20s %llu\n",
                    std::string(sim::event_name(e)).c_str(),
                    static_cast<unsigned long long>(machine.pmu().count(e)));
+    }
+    if (!json_path.empty()) {
+      if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
+        std::fprintf(f,
+                     "{\"name\":\"crsim:%s\",\"wall_ms\":%.3f,"
+                     "\"items_per_s\":%.3f}\n",
+                     path.c_str(), wall_ms,
+                     static_cast<double>(machine.cpu().retired()) /
+                         (wall_ms / 1e3));
+        std::fclose(f);
+      }
     }
     return reason == sim::StopReason::kHalted
                ? static_cast<int>(kernel.exit_code())
