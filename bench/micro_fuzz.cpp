@@ -1,0 +1,75 @@
+// Micro-benchmarks of the differential fuzzing subsystem: how many random
+// programs the generator emits per second and how many full oracle checks
+// the fuzzer sustains — the campaign throughput that bounds how much ISA
+// surface a CI fuzz budget actually covers.
+#include <benchmark/benchmark.h>
+
+#include "bench_json_reporter.hpp"
+#include "casm/assembler.hpp"
+#include "casm/runtime.hpp"
+#include "fuzz/differ.hpp"
+#include "fuzz/generator.hpp"
+#include "support/parallel.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace crs;
+
+void BM_FuzzGenerate(benchmark::State& state) {
+  std::uint64_t i = 0;
+  std::size_t lines = 0;
+  for (auto _ : state) {
+    Rng rng(derive_seed(1, i++));
+    const auto program = fuzz::generate_program(rng);
+    lines += program.lines.size();
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["lines_per_program"] =
+      benchmark::Counter(static_cast<double>(lines) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_FuzzGenerate)->Unit(benchmark::kMicrosecond);
+
+void BM_FuzzAssemble(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    Rng rng(derive_seed(2, i++));
+    const auto program = fuzz::generate_program(rng);
+    casm::AssembleOptions opt;
+    opt.name = "fuzz";
+    opt.link_base = 0x10000;
+    const auto binary =
+        casm::assemble(program.source() + casm::runtime_library(), opt);
+    benchmark::DoNotOptimize(binary);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FuzzAssemble)->Unit(benchmark::kMicrosecond);
+
+// One full fuzz iteration: generate + assemble + execute under every
+// standard config + cross-compare + invariants. items/s here is directly
+// the `crs_fuzz` campaign rate.
+void BM_FuzzDifferentialCheck(benchmark::State& state) {
+  std::uint64_t i = 0;
+  int divergences = 0;
+  for (auto _ : state) {
+    Rng rng(derive_seed(3, i++));
+    fuzz::GeneratorOptions opt;
+    opt.allow_rdcycle = (i % 2) == 1;
+    opt.allow_smc = (i % 3) == 0;
+    const auto program = fuzz::generate_program(rng, opt);
+    if (fuzz::check_program(program)) ++divergences;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["divergences"] =
+      benchmark::Counter(static_cast<double>(divergences));
+}
+BENCHMARK(BM_FuzzDifferentialCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return crs::bench::run_micro_benchmarks(argc, argv);
+}

@@ -1,0 +1,350 @@
+#include "fuzz/generator.hpp"
+
+#include <iterator>
+
+#include "perturb/perturb.hpp"
+
+namespace crs::fuzz {
+
+isa::Instruction random_instruction(Rng& rng) {
+  isa::Instruction in;
+  in.op = static_cast<isa::Opcode>(
+      rng.next_below(static_cast<std::uint64_t>(isa::Opcode::kOpcodeCount)));
+  in.rd = static_cast<std::uint8_t>(rng.next_below(isa::kNumRegisters));
+  in.rs1 = static_cast<std::uint8_t>(rng.next_below(isa::kNumRegisters));
+  in.rs2 = static_cast<std::uint8_t>(rng.next_below(isa::kNumRegisters));
+  in.imm = static_cast<std::int32_t>(rng.next_u64());
+  return in;
+}
+
+namespace {
+
+// Register conventions inside generated programs:
+//   r0..r7   data registers (random ALU results, loaded values)
+//   r8       loop counter (no ALU/mem block ever writes it)
+//   r10,r11  masked-address scratch and comparison scratch
+//   r12,r13  construct-local scratch (branch targets, SMC patch words)
+//   r14      base of the 4 KiB data scratch buffer
+//   r15/sp   untouched outside push/pop-balanced pairs and call/ret
+constexpr int kScratchBytes = 4096;
+constexpr int kScratchMask = kScratchBytes - 64;  // keep +disp in bounds
+
+std::string rname(int r) { return std::string(isa::register_name(r)); }
+
+int data_reg(Rng& rng) { return static_cast<int>(rng.next_below(8)); }
+
+constexpr isa::Opcode kAluPool[] = {
+    isa::Opcode::kMovImm, isa::Opcode::kMov,    isa::Opcode::kAdd,
+    isa::Opcode::kSub,    isa::Opcode::kMul,    isa::Opcode::kDivu,
+    isa::Opcode::kRemu,   isa::Opcode::kAnd,    isa::Opcode::kOr,
+    isa::Opcode::kXor,    isa::Opcode::kShl,    isa::Opcode::kShr,
+    isa::Opcode::kSar,    isa::Opcode::kAddImm, isa::Opcode::kMulImm,
+    isa::Opcode::kAndImm, isa::Opcode::kOrImm,  isa::Opcode::kXorImm,
+    isa::Opcode::kShlImm, isa::Opcode::kShrImm, isa::Opcode::kCmpLt,
+    isa::Opcode::kCmpLtu, isa::Opcode::kCmpEq,  isa::Opcode::kCmpNe};
+
+struct Emitter {
+  Rng& rng;
+  const GeneratorOptions& opt;
+  FuzzProgram& prog;
+  std::vector<std::string> tail;     // subroutines / SMC sites after exit
+  std::vector<std::string> labels;   // code labels usable as flush targets
+  int sub_count = 0;
+  int gadget_count = 0;
+  int smc_count = 0;
+
+  void line(std::string s) { prog.lines.push_back(std::move(s)); }
+
+  std::string random_alu(int rd) {
+    isa::Instruction in;
+    in.op = kAluPool[rng.next_below(std::size(kAluPool))];
+    in.rd = static_cast<std::uint8_t>(rd);
+    in.rs1 = static_cast<std::uint8_t>(data_reg(rng));
+    in.rs2 = static_cast<std::uint8_t>(data_reg(rng));
+    in.imm = static_cast<std::int32_t>(rng.next_u64());
+    return "  " + isa::disassemble(in);
+  }
+
+  void emit_alu() { line(random_alu(data_reg(rng))); }
+
+  // Load/store with the effective address masked into the scratch buffer.
+  void emit_mem() {
+    line("  andi r10, " + rname(data_reg(rng)) + ", " +
+         std::to_string(kScratchMask));
+    line("  add r10, r10, r14");
+    const int v = data_reg(rng);
+    const auto disp = std::to_string(rng.next_below(8) * 8);
+    switch (rng.next_below(4)) {
+      case 0:
+        line("  load " + rname(v) + ", [r10+" + disp + "]");
+        break;
+      case 1:
+        line("  loadb " + rname(v) + ", [r10+" + disp + "]");
+        break;
+      case 2:
+        line("  store [r10+" + disp + "], " + rname(v));
+        break;
+      default:
+        line("  storeb [r10+" + disp + "], " + rname(v));
+        break;
+    }
+  }
+
+  // clflush of data or code lines, fences, cycle reads.
+  void emit_microarch() {
+    switch (rng.next_below(4)) {
+      case 0:
+        line("  andi r10, " + rname(data_reg(rng)) + ", " +
+             std::to_string(kScratchMask));
+        line("  add r10, r10, r14");
+        line("  clflush [r10]");
+        break;
+      case 1:
+        if (!labels.empty()) {
+          // Flush a line of the *executing code*: the decode cache must
+          // refetch coherently afterwards.
+          const auto& target = labels[rng.next_below(labels.size())];
+          line("  movi r12, " + target);
+          line("  clflush [r12]");
+          break;
+        }
+        [[fallthrough]];
+      case 2:
+        line("  mfence");
+        break;
+      default:
+        if (opt.allow_rdcycle) {
+          prog.uses_rdcycle = true;
+          line("  rdcycle " + rname(data_reg(rng)));
+        } else {
+          line("  mfence");
+        }
+        break;
+    }
+  }
+
+  void emit_push_pop() {
+    const int a = data_reg(rng), b = data_reg(rng);
+    line("  push " + rname(a));
+    line("  push " + rname(b));
+    line("  pop " + rname(data_reg(rng)));
+    line("  pop " + rname(data_reg(rng)));
+  }
+
+  void emit_loop(int index) {
+    const auto label = "fz_loop" + std::to_string(index);
+    const auto count = 1 + rng.next_below(opt.max_loop_iterations);
+    line("  movi r8, " + std::to_string(count));
+    line(label + ":");
+    labels.push_back(label);
+    const int body = 1 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < body; ++i) {
+      switch (rng.next_below(3)) {
+        case 0: emit_alu(); break;
+        case 1: emit_mem(); break;
+        default: emit_microarch(); break;
+      }
+    }
+    line("  addi r8, r8, -1");
+    line("  bnez r8, " + label);
+  }
+
+  // Forward conditional branch over some junk into `next_label`.
+  void emit_branch(const std::string& next_label) {
+    static constexpr const char* kCmps[] = {"cmplt", "cmpltu", "cmpeq",
+                                            "cmpne"};
+    line("  " + std::string(kCmps[rng.next_below(4)]) + " r11, " +
+         rname(data_reg(rng)) + ", " + rname(data_reg(rng)));
+    line(std::string(rng.next_bernoulli(0.5) ? "  beqz" : "  bnez") +
+         " r11, " + next_label);
+    const int junk = static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < junk; ++i) emit_alu();
+  }
+
+  void emit_call() {
+    const auto label = "fz_sub" + std::to_string(sub_count++);
+    line("  call " + label);
+    tail.push_back(label + ":");
+    const int body = 1 + static_cast<int>(rng.next_below(4));
+    std::vector<std::string> saved;
+    saved.swap(prog.lines);
+    for (int i = 0; i < body; ++i) {
+      if (rng.next_bernoulli(0.3)) {
+        emit_mem();
+      } else {
+        emit_alu();
+      }
+    }
+    // Move the body into the tail, restore the main stream.
+    for (auto& l : prog.lines) tail.push_back(std::move(l));
+    prog.lines.swap(saved);
+    tail.push_back("  ret");
+  }
+
+  // ROP-style pivot: redirect control into a byte-misaligned instruction
+  // stream (4 bytes of dead padding make the gadget label pc % 8 == 4).
+  // Misaligned fetches bypass the decode cache's aligned fast path, so this
+  // differentiates the cached and uncached fetch paths on real gadget
+  // shapes. A ret-based variant drives the RSB-mispredict machinery too.
+  void emit_pivot(int index) {
+    const auto g = "fz_g" + std::to_string(index);
+    const auto r = "fz_r" + std::to_string(index);
+    line("  movi r12, " + g);
+    if (rng.next_bernoulli(0.5)) {
+      line("  jmpr r12");
+    } else {
+      line("  push r12");
+      line("  ret");
+    }
+    line("  .byte 0, 0, 0, 0");
+    line(g + ":");
+    const int body = 1 + static_cast<int>(rng.next_below(3));
+    for (int i = 0; i < body; ++i) emit_alu();
+    line("  movi r12, " + r);
+    line("  jmpr r12");
+    line("  .align 8");
+    line(r + ":");
+  }
+
+  // Self-modifying store: build the encoding of a random ALU instruction in
+  // a register, store it over a nop at an SMC site, then execute the site.
+  // A decode cache that misses the store's page-version bump runs the stale
+  // nop — exactly the bug class this construct hunts.
+  void emit_smc() {
+    prog.uses_smc = true;
+    const auto site = "fz_smc" + std::to_string(smc_count++);
+    isa::Instruction repl;
+    repl.op = kAluPool[rng.next_below(std::size(kAluPool))];
+    repl.rd = static_cast<std::uint8_t>(data_reg(rng));
+    repl.rs1 = static_cast<std::uint8_t>(data_reg(rng));
+    repl.rs2 = static_cast<std::uint8_t>(data_reg(rng));
+    repl.imm = static_cast<std::int32_t>(rng.next_u64());
+    const auto bytes = isa::encode(repl);
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      word |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+    }
+    // lo32's top byte is rs2 (< 16), so the movi sign extension is benign.
+    const auto lo = static_cast<std::int32_t>(word & 0xFFFFFFFFull);
+    const auto hi = static_cast<std::int32_t>(word >> 32);
+    // Prime the decode cache with the unpatched site first: the stale-slot
+    // bug class only manifests when the nop was already decoded.
+    line("  call " + site);
+    line("  movi r13, " + std::to_string(hi));
+    line("  shli r13, r13, 32");
+    line("  movi r11, " + std::to_string(lo));
+    line("  or r13, r13, r11");
+    line("  movi r12, " + site);
+    line("  store [r12], r13");
+    line("  call " + site);
+    tail.push_back(site + ":");
+    tail.push_back("  nop");
+    tail.push_back("  ret");
+  }
+};
+
+}  // namespace
+
+std::string FuzzProgram::source() const {
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+FuzzProgram generate_program(Rng& rng, const GeneratorOptions& options) {
+  FuzzProgram prog;
+  Emitter e{rng, options, prog, {}, {}};
+
+  const int blocks =
+      options.min_blocks +
+      static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+          options.max_blocks - options.min_blocks + 1)));
+
+  // One-shot features, assigned to random blocks.
+  const int smc_block =
+      options.allow_smc ? static_cast<int>(rng.next_below(blocks)) : -1;
+  const int perturb_block =
+      options.allow_perturb && rng.next_bernoulli(0.4)
+          ? static_cast<int>(rng.next_below(blocks))
+          : -1;
+  std::string perturb_src;
+  if (perturb_block >= 0) {
+    // Draw an Algorithm 2 variant the same way the adaptive attacker does.
+    perturb::VariantMutator mutator({}, rng.next_u64());
+    perturb_src = perturb::generate_perturb_source(mutator.next(), "fz_perturb");
+  }
+
+  e.line("_start:");
+  e.line("  movi r14, fz_scratch");
+  for (int b = 0; b < blocks; ++b) {
+    const auto label = "fz_b" + std::to_string(b);
+    e.line(label + ":");
+    e.labels.push_back(label);
+    if (b == smc_block) e.emit_smc();
+    if (b == perturb_block) e.line("  call fz_perturb");
+    const auto next_label =
+        b + 1 < blocks ? "fz_b" + std::to_string(b + 1) : std::string("fz_done");
+    const int stmts = 1 + static_cast<int>(rng.next_below(
+                              static_cast<std::uint64_t>(options.max_block_len)));
+    for (int s = 0; s < stmts; ++s) {
+      switch (rng.next_below(8)) {
+        case 0:
+        case 1:
+        case 2:
+          e.emit_alu();
+          break;
+        case 3:
+        case 4:
+          e.emit_mem();
+          break;
+        case 5:
+          e.emit_microarch();
+          break;
+        case 6:
+          if (rng.next_bernoulli(0.5)) {
+            e.emit_call();
+          } else {
+            e.emit_push_pop();
+          }
+          break;
+        default:
+          if (options.allow_pivot && rng.next_bernoulli(0.5)) {
+            e.emit_pivot(e.gadget_count++);
+          } else {
+            e.emit_loop(b * 16 + s);
+          }
+          break;
+      }
+    }
+    if (rng.next_bernoulli(0.35)) e.emit_branch(next_label);
+  }
+  e.line("fz_done:");
+  e.line("  movi r1, 0");
+  e.line("  call exit_");
+
+  for (auto& l : e.tail) prog.lines.push_back(std::move(l));
+
+  prog.lines.push_back(".data");
+  prog.lines.push_back(".align 64");
+  prog.lines.push_back("fz_scratch:");
+  prog.lines.push_back("  .space " + std::to_string(kScratchBytes) + ", 0");
+
+  if (!perturb_src.empty()) {
+    std::size_t pos = 0;
+    while (pos <= perturb_src.size()) {
+      const auto eol = perturb_src.find('\n', pos);
+      if (eol == std::string::npos) {
+        if (pos < perturb_src.size()) prog.lines.push_back(perturb_src.substr(pos));
+        break;
+      }
+      prog.lines.push_back(perturb_src.substr(pos, eol - pos));
+      pos = eol + 1;
+    }
+  }
+  return prog;
+}
+
+}  // namespace crs::fuzz

@@ -1,0 +1,66 @@
+// Seeded random program generator over the casm/ISA surface.
+//
+// The differential fuzzer's front end: produces small, always-terminating
+// assembly programs that exercise the simulator behaviours most likely to
+// diverge between its fast paths and its reference paths — straight-line
+// ALU, masked loads/stores, bounded loops, forward branches, call/ret,
+// clflush of data AND code lines, mfence, self-modifying stores into the
+// executing page, ROP-style pivots into unaligned instruction streams, and
+// perturb()-shaped ladders (Algorithm 2 bodies).
+//
+// Determinism contract: the emitted text is a pure function of (Rng state,
+// GeneratorOptions). The property-test suite shares `random_instruction`
+// with the fuzzer so both explore the same instruction distribution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "support/rng.hpp"
+
+namespace crs::fuzz {
+
+/// Uniformly random *valid* instruction: legal opcode and register indices,
+/// arbitrary 32-bit immediate. Round-trips through encode/decode.
+isa::Instruction random_instruction(Rng& rng);
+
+struct GeneratorOptions {
+  int min_blocks = 2;
+  int max_blocks = 7;
+  /// Longest straight-line run inside one block.
+  int max_block_len = 10;
+  /// Iteration bound for generated loops (termination guarantee).
+  std::uint64_t max_loop_iterations = 24;
+  /// rdcycle makes architectural state timing-dependent; generators feeding
+  /// arch-only config comparisons (cache geometry, spec window) disable it.
+  bool allow_rdcycle = true;
+  /// Self-modifying stores into the executing page. The executor must map
+  /// the image writable+executable when this is on.
+  bool allow_smc = false;
+  /// ROP-style jumps into byte-misaligned instruction streams.
+  bool allow_pivot = true;
+  /// Splice in a perturb() ladder (Algorithm 2) and call it.
+  bool allow_perturb = true;
+
+  bool operator==(const GeneratorOptions&) const = default;
+};
+
+/// A generated program: assembly text line-by-line (the unit the minimizer
+/// removes), plus the flags the executor needs to replay it faithfully.
+struct FuzzProgram {
+  std::vector<std::string> lines;
+  /// The program stores into its own text image: run with a writable image.
+  bool uses_smc = false;
+  /// The program reads the cycle counter: architectural state is timing-
+  /// dependent, so only exact-equivalence configs may be compared.
+  bool uses_rdcycle = false;
+
+  /// Full assembly source (lines joined; runtime library NOT appended).
+  std::string source() const;
+};
+
+FuzzProgram generate_program(Rng& rng, const GeneratorOptions& options = {});
+
+}  // namespace crs::fuzz

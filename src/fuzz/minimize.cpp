@@ -1,0 +1,55 @@
+#include "fuzz/minimize.hpp"
+
+#include <algorithm>
+
+namespace crs::fuzz {
+
+namespace {
+
+FuzzProgram without_range(const FuzzProgram& p, std::size_t begin,
+                          std::size_t end) {
+  FuzzProgram out = p;
+  out.lines.erase(out.lines.begin() + static_cast<std::ptrdiff_t>(begin),
+                  out.lines.begin() + static_cast<std::ptrdiff_t>(end));
+  return out;
+}
+
+}  // namespace
+
+FuzzProgram minimize(const FuzzProgram& program, const Oracle& still_fails,
+                     int max_oracle_calls, MinimizeStats* stats) {
+  FuzzProgram best = program;
+  MinimizeStats local;
+  MinimizeStats& st = stats != nullptr ? *stats : local;
+
+  bool shrunk = true;
+  while (shrunk && st.oracle_calls < max_oracle_calls) {
+    shrunk = false;
+    for (std::size_t chunk = std::max<std::size_t>(best.lines.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      std::size_t i = 0;
+      while (i < best.lines.size()) {
+        if (st.oracle_calls >= max_oracle_calls) return best;
+        const std::size_t end = std::min(i + chunk, best.lines.size());
+        FuzzProgram candidate = without_range(best, i, end);
+        if (candidate.lines.empty()) {
+          ++i;
+          continue;
+        }
+        ++st.oracle_calls;
+        if (still_fails(candidate)) {
+          st.lines_removed += static_cast<int>(end - i);
+          best = std::move(candidate);
+          shrunk = true;
+          // Do not advance: the next chunk now starts at index i.
+        } else {
+          i += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+  }
+  return best;
+}
+
+}  // namespace crs::fuzz

@@ -1,0 +1,32 @@
+// Greedy repro minimization (ddmin-flavoured, over source lines).
+//
+// Given a failing program and an oracle that re-checks the failure, remove
+// chunks of lines (halving the chunk size down to single lines) and keep
+// every removal after which the oracle still fails. Removals that break
+// assembly simply make the oracle return false and are reverted, so label
+// definitions/uses stay consistent without any parsing here. Deterministic:
+// same input + same oracle behaviour → same minimized program.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/generator.hpp"
+
+namespace crs::fuzz {
+
+/// Returns true when `candidate` still exhibits the original failure.
+/// Must return false (not throw) for candidates that fail to assemble.
+using Oracle = std::function<bool(const FuzzProgram&)>;
+
+struct MinimizeStats {
+  int oracle_calls = 0;
+  int lines_removed = 0;
+};
+
+/// `max_oracle_calls` bounds total work; the best program found so far is
+/// returned when the budget runs out.
+FuzzProgram minimize(const FuzzProgram& program, const Oracle& still_fails,
+                     int max_oracle_calls = 600,
+                     MinimizeStats* stats = nullptr);
+
+}  // namespace crs::fuzz

@@ -1,5 +1,7 @@
 #include "sim/cache.hpp"
 
+#include <string>
+
 #include "support/error.hpp"
 
 namespace crs::sim {
@@ -84,6 +86,45 @@ void CacheLevel::clear() {
   use_counter_ = 0;
 }
 
+std::string CacheLevel::check_invariants() const {
+  for (std::uint64_t set = 0; set < num_sets_; ++set) {
+    const Way* base = &ways_[set * config_.ways];
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      const Way& way = base[w];
+      if (!way.valid) continue;
+      if (way.lru > use_counter_) {
+        return "set " + std::to_string(set) + " way " + std::to_string(w) +
+               ": lru stamp " + std::to_string(way.lru) +
+               " ahead of use counter " + std::to_string(use_counter_);
+      }
+      for (std::uint32_t v = w + 1; v < config_.ways; ++v) {
+        if (base[v].valid && base[v].tag == way.tag) {
+          return "set " + std::to_string(set) + ": duplicate tag " +
+                 std::to_string(way.tag) + " in ways " + std::to_string(w) +
+                 " and " + std::to_string(v);
+        }
+      }
+    }
+  }
+  // Stale memos (way reused for another line, or flushed) are legal — the
+  // tag+valid recheck in access() catches them — but the memoized way must
+  // at least live inside the set of the remembered line.
+  if (mru_way_ != nullptr && mru_line_ != ~0ull) {
+    const std::uint64_t memo_set = mru_line_ & (num_sets_ - 1);
+    const Way* base = &ways_[memo_set * config_.ways];
+    if (mru_way_ < base || mru_way_ >= base + config_.ways) {
+      return "MRU memo way points outside the set of its remembered line";
+    }
+  }
+  return {};
+}
+
+std::size_t CacheLevel::occupancy() const {
+  std::size_t n = 0;
+  for (const auto& way : ways_) n += way.valid ? 1 : 0;
+  return n;
+}
+
 MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
     : config_(config), l1d_(config.l1d), l1i_(config.l1i), l2_(config.l2) {}
 
@@ -108,6 +149,13 @@ void MemoryHierarchy::clear() {
   l1d_.clear();
   l1i_.clear();
   l2_.clear();
+}
+
+std::string MemoryHierarchy::check_invariants() const {
+  if (auto v = l1d_.check_invariants(); !v.empty()) return "l1d: " + v;
+  if (auto v = l1i_.check_invariants(); !v.empty()) return "l1i: " + v;
+  if (auto v = l2_.check_invariants(); !v.empty()) return "l2: " + v;
+  return {};
 }
 
 }  // namespace crs::sim

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace crs::sim {
@@ -53,6 +54,16 @@ class CacheLevel {
 
   std::uint32_t line_size() const { return config_.line_size; }
   std::uint32_t num_sets() const { return num_sets_; }
+
+  /// Structural self-check for the fuzzer's algebraic oracle: every set
+  /// holds distinct valid tags, no LRU stamp runs ahead of the global use
+  /// counter, and the MRU memo (when armed) points at a way consistent with
+  /// its remembered line. Returns "" when consistent, else a description of
+  /// the first violation.
+  std::string check_invariants() const;
+
+  /// Valid lines currently resident (for occupancy bounds).
+  std::size_t occupancy() const;
 
  private:
   struct Way {
@@ -145,6 +156,9 @@ class MemoryHierarchy {
   /// Residence probes for tests and the covert-channel unit tests.
   bool l1d_resident(std::uint64_t addr) const { return l1d_.probe(addr); }
   bool l2_resident(std::uint64_t addr) const { return l2_.probe(addr); }
+
+  /// Runs check_invariants on every level; "" when all are consistent.
+  std::string check_invariants() const;
 
  private:
   HierarchyConfig config_;

@@ -1,6 +1,9 @@
 // Shared helpers for tests that assemble and run simulated programs.
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -50,6 +53,30 @@ class SimHarness {
       std::uint64_t max_instructions = 10'000'000) {
     kernel_.start(path, args);
     return kernel_.run(max_instructions);
+  }
+
+  /// Single-steps the CPU until it halts, calling `on_step` (if any) after
+  /// each step. A program that exceeds `max_steps` is reported as a test
+  /// failure with pc/retired diagnostics instead of hanging ctest forever.
+  /// Returns true when the CPU halted within the budget.
+  template <typename OnStep>
+  bool run_to_halt(std::uint64_t max_steps, OnStep&& on_step) {
+    auto& cpu = machine_.cpu();
+    for (std::uint64_t steps = 0; !cpu.halted(); ++steps) {
+      if (steps >= max_steps) {
+        ADD_FAILURE() << "program did not halt within " << max_steps
+                      << " steps (pc=0x" << std::hex << cpu.pc() << std::dec
+                      << ", retired=" << cpu.retired() << ")";
+        return false;
+      }
+      cpu.step();
+      on_step();
+    }
+    return true;
+  }
+
+  bool run_to_halt(std::uint64_t max_steps) {
+    return run_to_halt(max_steps, [] {});
   }
 
   sim::Machine& machine() { return machine_; }

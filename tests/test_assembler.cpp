@@ -256,5 +256,67 @@ TEST(Assembler, DisassembleTextListsInstructions) {
   EXPECT_NE(text.find("halt"), std::string::npos);
 }
 
+// Negative tests asserting the *message*, not just that assembly failed:
+// a misleading diagnostic is a bug even when the rejection is correct.
+void expect_asm_error(const std::string& source, const std::string& substr) {
+  try {
+    assemble(source);
+    ADD_FAILURE() << "expected assembly of:\n"
+                  << source << "to fail with '" << substr << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(AssemblerErrors, WrongOperandCountNamesTheMnemonic) {
+  expect_asm_error("add r1, r2\n", "add expects 3 operand(s)");
+  expect_asm_error("movi r1\n", "movi expects 2 operand(s)");
+  expect_asm_error("ret r1\n", "ret expects 0 operand(s)");
+}
+
+TEST(AssemblerErrors, MalformedOperands) {
+  expect_asm_error("mov r1, 5\n", "expected a register, got '5'");
+  expect_asm_error("add r1, r2, bogus\n", "expected a register, got 'bogus'");
+  expect_asm_error("load r1, r2\n", "expected a memory operand [reg+disp]");
+  expect_asm_error("store 42, r1\n", "expected a memory operand [reg+disp]");
+}
+
+TEST(AssemblerErrors, DuplicateLabelIsNamed) {
+  expect_asm_error("a: nop\na: nop\n", "duplicate label 'a'");
+}
+
+TEST(AssemblerErrors, UnknownLabelAndMnemonicAreNamed) {
+  expect_asm_error("jmp nowhere\n", "unknown label 'nowhere'");
+  expect_asm_error("frob r1, r2, r3\n", "unknown mnemonic 'frob'");
+}
+
+TEST(AssemblerErrors, OutOfRangeImmediate) {
+  expect_asm_error("movi r1, 0x100000000\n", "immediate out of 32-bit range");
+  expect_asm_error("addi r1, r1, -2147483649\n",
+                   "immediate out of 32-bit range");
+}
+
+TEST(AssemblerErrors, UnterminatedStringDirective) {
+  expect_asm_error(".data\n.ascii \"abc\n", "expected a quoted string");
+  expect_asm_error(".data\n.asciz no_quotes\n", "expected a quoted string");
+}
+
+TEST(AssemblerErrors, UnknownStringEscape) {
+  expect_asm_error(".data\n.ascii \"a\\qb\"\n", "unknown escape \\q");
+}
+
+TEST(AssemblerErrors, MalformedDirectives) {
+  expect_asm_error(".equ ONLY_NAME\n", ".equ NAME, value");
+  expect_asm_error(".data\n.word\n", ".word needs values");
+  expect_asm_error(".data\n.space\n", ".space needs a size");
+  expect_asm_error(".woops 3\n", "unknown directive '.woops'");
+}
+
+TEST(AssemblerErrors, MessagesCarryTheFailingLineNumber) {
+  expect_asm_error("nop\nnop\nadd r1, r2\n", "asm line 3:");
+  expect_asm_error(".data\n.byte\n", "asm line 2:");
+}
+
 }  // namespace
 }  // namespace crs::casm

@@ -1,0 +1,66 @@
+// Golden-trace tier: re-run the canonical small-scale scenarios and demand
+// byte-identical CSV traces against the references in tests/golden. A
+// mismatch prints a row-level diff; intentional changes are blessed with
+// `crs_fuzz --update-golden`.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/golden.hpp"
+#include "support/error.hpp"
+
+#ifndef CRS_GOLDEN_DIR
+#define CRS_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace crs;
+
+class GoldenTrace : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenTrace, MatchesCheckedInReference) {
+  const auto& name = GetParam();
+  const auto path = std::string(CRS_GOLDEN_DIR) + "/" + name + ".csv";
+  std::string golden;
+  ASSERT_NO_THROW(golden = fuzz::read_text_file(path))
+      << "missing reference — run `crs_fuzz --update-golden`";
+  const auto live = fuzz::golden_csv(name);
+  const auto diff = fuzz::diff_csv(name, golden, live);
+  EXPECT_TRUE(diff.empty()) << diff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, GoldenTrace,
+                         ::testing::Values("benign", "spectre", "crspectre"),
+                         [](const auto& info) { return info.param; });
+
+TEST(GoldenCsv, DeterministicAcrossRuns) {
+  EXPECT_EQ(fuzz::golden_csv("benign"), fuzz::golden_csv("benign"));
+}
+
+TEST(GoldenCsv, UnknownScenarioThrows) {
+  EXPECT_THROW(fuzz::golden_csv("nope"), Error);
+}
+
+TEST(GoldenDiff, ReportsRowAndColumnOfChange) {
+  const std::string golden = "a,b,c\n1.0,2.0,3.0\n4.0,5.0,6.0\n";
+  const std::string live = "a,b,c\n1.0,2.0,3.0\n4.0,9.9,6.0\n";
+  const auto diff = fuzz::diff_csv("demo", golden, live);
+  ASSERT_FALSE(diff.empty());
+  EXPECT_NE(diff.find("row 2"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("[b]"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("golden=5.0"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("live=9.9"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("--update-golden"), std::string::npos) << diff;
+}
+
+TEST(GoldenDiff, ReportsHeaderAndRowCountChanges) {
+  EXPECT_NE(fuzz::diff_csv("demo", "a,b\n1,2\n", "a,z\n1,2\n").find("header"),
+            std::string::npos);
+  EXPECT_NE(
+      fuzz::diff_csv("demo", "a,b\n1,2\n", "a,b\n1,2\n3,4\n").find("row count"),
+      std::string::npos);
+  EXPECT_TRUE(fuzz::diff_csv("demo", "a,b\n1,2\n", "a,b\n1,2\n").empty());
+}
+
+}  // namespace

@@ -217,10 +217,9 @@ TEST(Kernel, InInjectedBinaryTracksExecveDepth) {
   EXPECT_FALSE(h.kernel().in_injected_binary());
   // Step until inside the child, observing the flag flip.
   bool saw_injected = false;
-  while (!h.machine().cpu().halted()) {
-    h.machine().cpu().step();
+  ASSERT_TRUE(h.run_to_halt(1'000'000, [&] {
     if (h.kernel().in_injected_binary()) saw_injected = true;
-  }
+  }));
   EXPECT_TRUE(saw_injected);
   EXPECT_FALSE(h.kernel().in_injected_binary());
 }

@@ -192,6 +192,59 @@ TEST(Mutator, ParametersStayInValidRanges) {
   }
 }
 
+TEST(Mutator, EveryParameterBoundedOverTenThousandMutations) {
+  // Algorithm 2's mutation policy over a long horizon: every field of
+  // every drawn variant stays inside its documented range. Unlike the
+  // 100-step test above, this also covers the step sizes, delay menu, and
+  // mimic style, and is long enough to reach the RNG's rare tails.
+  VariantMutator m(PerturbParams{}, 0xB07);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto& p = m.next();
+    ASSERT_GE(p.a, 5) << "mutation " << i;
+    ASSERT_LE(p.a, 40) << "mutation " << i;
+    ASSERT_GE(p.b, 2) << "mutation " << i;
+    ASSERT_LE(p.b, 20) << "mutation " << i;
+    ASSERT_GE(p.loop_count, 6) << "mutation " << i;
+    ASSERT_LE(p.loop_count, 28) << "mutation " << i;
+    ASSERT_GE(p.a_step, 10) << "mutation " << i;
+    ASSERT_LE(p.a_step, 100) << "mutation " << i;
+    ASSERT_EQ(p.a_step % 10, 0) << "mutation " << i;
+    ASSERT_GE(p.b_step, 5) << "mutation " << i;
+    ASSERT_LE(p.b_step, 30) << "mutation " << i;
+    ASSERT_EQ(p.b_step % 5, 0) << "mutation " << i;
+    ASSERT_GE(p.extra_ladders, 0) << "mutation " << i;
+    ASSERT_LE(p.extra_ladders, 3) << "mutation " << i;
+    ASSERT_TRUE(p.delay == 250 || p.delay == 500 || p.delay == 1000 ||
+                p.delay == 2000 || p.delay == 3000 || p.delay == 4000)
+        << "mutation " << i << ": delay=" << p.delay;
+    const int style = static_cast<int>(p.style);
+    ASSERT_GE(style, 0) << "mutation " << i;
+    ASSERT_LE(style, 3) << "mutation " << i;
+  }
+  EXPECT_EQ(m.generation(), 10'000);
+}
+
+TEST(Mutator, TenThousandStepSequenceReproducibleFromSeed) {
+  VariantMutator a(PerturbParams{}, 0x5EED);
+  std::vector<PerturbParams> trace;
+  trace.reserve(10'000);
+  for (int i = 0; i < 10'000; ++i) trace.push_back(a.next());
+
+  VariantMutator b(PerturbParams{}, 0x5EED);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_TRUE(b.next() == trace[static_cast<std::size_t>(i)])
+        << "replay diverged at mutation " << i;
+  }
+
+  // A different seed must not replay the same sequence.
+  VariantMutator c(PerturbParams{}, 0x5EED + 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c.next() == trace[static_cast<std::size_t>(i)]) ++same;
+  }
+  EXPECT_LT(same, 100);
+}
+
 TEST(Mutator, VariantsProduceDiverseSignatures) {
   VariantMutator m(PerturbParams{}, 11);
   std::set<std::uint64_t> flush_counts;

@@ -7,6 +7,8 @@
 #include <map>
 
 #include "casm/assembler.hpp"
+#include "fuzz/differ.hpp"
+#include "fuzz/generator.hpp"
 #include "harness.hpp"
 #include "isa/isa.hpp"
 #include "rop/chain.hpp"
@@ -24,16 +26,8 @@ class Seeded : public ::testing::TestWithParam<std::uint64_t> {};
 INSTANTIATE_TEST_SUITE_P(Seeds, Seeded,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
 
-isa::Instruction random_instruction(Rng& rng) {
-  isa::Instruction in;
-  in.op = static_cast<isa::Opcode>(
-      rng.next_below(static_cast<std::uint64_t>(isa::Opcode::kOpcodeCount)));
-  in.rd = static_cast<std::uint8_t>(rng.next_below(isa::kNumRegisters));
-  in.rs1 = static_cast<std::uint8_t>(rng.next_below(isa::kNumRegisters));
-  in.rs2 = static_cast<std::uint8_t>(rng.next_below(isa::kNumRegisters));
-  in.imm = static_cast<std::int32_t>(rng.next_u64());
-  return in;
-}
+// Shared with the crs_fuzz differential fuzzer — one generator, two users.
+using fuzz::random_instruction;
 
 TEST_P(Seeded, EncodeDecodeIsIdentityOnValidInstructions) {
   Rng rng(GetParam());
@@ -389,6 +383,55 @@ TEST_P(Seeded, PhtCounterNeverLeavesSaturationRange) {
     pht.update(pc, rng.next_bernoulli(0.5));
     EXPECT_LE(pht.counter(pc), 3);
   }
+}
+
+TEST_P(Seeded, GeneratedProgramsAssembleAndHalt) {
+  // Every program the fuzz generator emits is termination-safe by
+  // construction: it must assemble, run to a clean exit within a generous
+  // instruction bound, and never trip an algebraic invariant.
+  Rng rng(GetParam() ^ 0xF022);
+  fuzz::GeneratorOptions opt;
+  opt.allow_rdcycle = (GetParam() % 2) == 0;
+  opt.allow_smc = (GetParam() % 3) == 0;
+  const auto program = fuzz::generate_program(rng, opt);
+  const auto binary =
+      test::assemble_with_runtime(program.source(), "fuzzprog");
+  const auto configs = fuzz::standard_configs(/*timing_blind=*/true);
+  const auto result =
+      fuzz::run_under_config(binary, configs[0], {}, program.uses_smc);
+  EXPECT_EQ(result.stop, sim::StopReason::kHalted);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_TRUE(result.invariant_failure.empty()) << result.invariant_failure;
+}
+
+TEST_P(Seeded, GeneratedProgramsDecodeCacheInvariant) {
+  // The decode cache is a pure simulator-speed knob: on vs off must agree
+  // bit-for-bit even with self-modifying code and code-line clflushes.
+  Rng rng(GetParam() ^ 0xDCDC);
+  fuzz::GeneratorOptions opt;
+  opt.allow_smc = true;
+  const auto program = fuzz::generate_program(rng, opt);
+  const auto binary =
+      test::assemble_with_runtime(program.source(), "fuzzprog");
+  fuzz::ExecConfig on{"dcache-on", {}, false};
+  fuzz::ExecConfig off{"dcache-off", {}, false};
+  off.machine.cpu.decode_cache = false;
+  const auto a = fuzz::run_under_config(binary, on, {}, program.uses_smc);
+  const auto b = fuzz::run_under_config(binary, off, {}, program.uses_smc);
+  EXPECT_EQ(fuzz::compare_results(a, b, /*arch_only=*/false), "");
+}
+
+TEST_P(Seeded, GeneratedProgramsArchStateCacheGeometryInvariant) {
+  // Architectural results of rdcycle-free programs cannot depend on cache
+  // geometry or speculation depth.
+  Rng rng(GetParam() ^ 0xA2C4);
+  fuzz::GeneratorOptions opt;
+  opt.allow_rdcycle = false;
+  const auto program = fuzz::generate_program(rng, opt);
+  ASSERT_FALSE(program.uses_rdcycle);
+  const auto div = fuzz::check_program(program);
+  EXPECT_FALSE(div.has_value())
+      << div->config_a << " vs " << div->config_b << ": " << div->detail;
 }
 
 }  // namespace

@@ -1,0 +1,320 @@
+// crs_fuzz — differential fuzzer + golden-trace manager for the simulator.
+//
+//   crs_fuzz [--seed S] [--iters N | --seconds T] [--corpus DIR]
+//            [--max-instructions M] [--attack-every K] [--threads N]
+//            [--no-smc] [--no-pivot] [--no-perturb] [--max-repros R]
+//   crs_fuzz --update-golden [DIR]     regenerate tests/golden CSVs
+//   crs_fuzz --check-golden  [DIR]     diff live scenarios vs checked-in CSVs
+//
+// Each iteration i derives its own Rng from (seed, i), generates a random
+// program, and runs the differential oracle (decode cache on/off, cache
+// geometries, speculation windows; every Kth iteration a flush+reload
+// attack-leak check instead). On divergence the failing program is
+// greedily minimized and written to the corpus directory as a
+// self-contained .casm repro that test_fuzz_regressions replays. A final
+// serial-vs-thread-pool batch checks campaign-parallelism determinism.
+//
+// Determinism: the same --seed/--iters produce byte-identical repro files;
+// --seconds only changes how many iterations run, not what any given
+// iteration does.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "fuzz/differ.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/golden.hpp"
+#include "fuzz/minimize.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+
+#ifndef CRS_FUZZ_DEFAULT_CORPUS
+#define CRS_FUZZ_DEFAULT_CORPUS "tests/fuzz_corpus"
+#endif
+#ifndef CRS_GOLDEN_DIR
+#define CRS_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+using namespace crs;
+
+struct Options {
+  std::uint64_t seed = 1;
+  std::uint64_t iters = 200;
+  double seconds = 0;  // > 0 overrides iters
+  std::string corpus = CRS_FUZZ_DEFAULT_CORPUS;
+  std::string golden_dir = CRS_GOLDEN_DIR;
+  std::uint64_t max_instructions = 2'000'000;
+  std::uint64_t attack_every = 13;
+  unsigned threads = 0;
+  int parallel_batch = 8;
+  int max_repros = 10;
+  bool allow_smc = true;
+  bool allow_pivot = true;
+  bool allow_perturb = true;
+  bool update_golden = false;
+  bool check_golden = false;
+};
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: crs_fuzz [--seed S] [--iters N | --seconds T] [--corpus DIR]\n"
+      "                [--max-instructions M] [--attack-every K] [--threads N]\n"
+      "                [--parallel-batch B] [--max-repros R]\n"
+      "                [--no-smc] [--no-pivot] [--no-perturb]\n"
+      "       crs_fuzz --update-golden [DIR]\n"
+      "       crs_fuzz --check-golden [DIR]\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&](std::uint64_t& out) {
+      if (i + 1 >= argc) return false;
+      out = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 0));
+      return true;
+    };
+    if (a == "--seed") {
+      if (!next(opt.seed)) return false;
+    } else if (a == "--iters") {
+      if (!next(opt.iters)) return false;
+    } else if (a == "--seconds") {
+      if (i + 1 >= argc) return false;
+      opt.seconds = std::atof(argv[++i]);
+    } else if (a == "--corpus") {
+      if (i + 1 >= argc) return false;
+      opt.corpus = argv[++i];
+    } else if (a == "--max-instructions") {
+      if (!next(opt.max_instructions)) return false;
+    } else if (a == "--attack-every") {
+      if (!next(opt.attack_every)) return false;
+    } else if (a == "--threads") {
+      std::uint64_t t = 0;
+      if (!next(t)) return false;
+      opt.threads = static_cast<unsigned>(t);
+    } else if (a == "--parallel-batch") {
+      std::uint64_t b = 0;
+      if (!next(b)) return false;
+      opt.parallel_batch = static_cast<int>(b);
+    } else if (a == "--max-repros") {
+      std::uint64_t r = 0;
+      if (!next(r)) return false;
+      opt.max_repros = static_cast<int>(r);
+    } else if (a == "--no-smc") {
+      opt.allow_smc = false;
+    } else if (a == "--no-pivot") {
+      opt.allow_pivot = false;
+    } else if (a == "--no-perturb") {
+      opt.allow_perturb = false;
+    } else if (a == "--update-golden" || a == "--check-golden") {
+      (a == "--update-golden" ? opt.update_golden : opt.check_golden) = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') opt.golden_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "crs_fuzz: unknown argument '%s'\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+fuzz::GeneratorOptions generator_options(const Options& opt,
+                                         std::uint64_t iter) {
+  fuzz::GeneratorOptions g;
+  // Alternate equivalence classes: even iterations stay timing-blind so the
+  // arch-only configs (cache geometry, spec window) participate; odd ones
+  // allow rdcycle and exercise exact configs with timing-dependent code.
+  g.allow_rdcycle = (iter % 2) == 1;
+  g.allow_smc = opt.allow_smc && (iter % 3) == 0;
+  g.allow_pivot = opt.allow_pivot;
+  g.allow_perturb = opt.allow_perturb;
+  return g;
+}
+
+/// Repro file: header comments carry everything the replayer needs.
+std::string repro_text(const Options& opt, std::uint64_t iter,
+                       const fuzz::Divergence& div,
+                       const fuzz::FuzzProgram& minimized) {
+  std::string s;
+  s += "; crs-fuzz repro (auto-minimized)\n";
+  s += "; seed: " + std::to_string(opt.seed) + "\n";
+  s += "; iter: " + std::to_string(iter) + "\n";
+  s += "; kind: " + div.kind + "\n";
+  s += "; configs: " + div.config_a +
+       (div.config_b.empty() ? "" : " vs " + div.config_b) + "\n";
+  s += "; detail: " + div.detail + "\n";
+  s += "; smc: " + std::to_string(minimized.uses_smc ? 1 : 0) + "\n";
+  s += "; rdcycle: " + std::to_string(minimized.uses_rdcycle ? 1 : 0) + "\n";
+  s += minimized.source();
+  return s;
+}
+
+int run_golden(const Options& opt) {
+  namespace fs = std::filesystem;
+  int failures = 0;
+  for (const auto& name : fuzz::golden_scenario_names()) {
+    const auto path = opt.golden_dir + "/" + name + ".csv";
+    const auto live = fuzz::golden_csv(name);
+    if (opt.update_golden) {
+      fs::create_directories(opt.golden_dir);
+      core::write_text_file(path, live);
+      std::printf("crs_fuzz: wrote %s (%zu bytes)\n", path.c_str(),
+                  live.size());
+      continue;
+    }
+    std::string golden;
+    try {
+      golden = fuzz::read_text_file(path);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "crs_fuzz: %s (run --update-golden first?)\n",
+                   e.what());
+      ++failures;
+      continue;
+    }
+    const auto diff = fuzz::diff_csv(name, golden, live);
+    if (diff.empty()) {
+      std::printf("crs_fuzz: golden '%s' OK\n", name.c_str());
+    } else {
+      std::fputs(diff.c_str(), stderr);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int run_fuzz(const Options& opt) {
+  namespace fs = std::filesystem;
+  if (opt.threads != 0) set_thread_override(opt.threads);
+
+  fuzz::RunLimits limits;
+  limits.max_instructions = opt.max_instructions;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  int divergences = 0;
+  int repros_written = 0;
+  std::uint64_t iter = 0;
+  std::uint64_t programs_checked = 0;
+  std::uint64_t attacks_checked = 0;
+
+  for (;; ++iter) {
+    if (opt.seconds > 0) {
+      if (elapsed() >= opt.seconds) break;
+    } else if (iter >= opt.iters) {
+      break;
+    }
+
+    Rng rng(derive_seed(opt.seed, iter));
+    if (opt.attack_every > 0 && iter % opt.attack_every == opt.attack_every - 1) {
+      ++attacks_checked;
+      if (const auto div = fuzz::check_attack_leak(rng, limits)) {
+        ++divergences;
+        std::fprintf(stderr,
+                     "crs_fuzz: DIVERGENCE (iter %llu, %s): %s vs %s: %s\n",
+                     static_cast<unsigned long long>(iter), div->kind.c_str(),
+                     div->config_a.c_str(), div->config_b.c_str(),
+                     div->detail.c_str());
+        // Attack binaries are parameter-derived, not line-mutable: record
+        // the failing iteration without a .casm repro.
+      }
+      continue;
+    }
+
+    const auto gopt = generator_options(opt, iter);
+    const auto program = fuzz::generate_program(rng, gopt);
+    ++programs_checked;
+    const auto div = fuzz::check_program(program, limits);
+    if (!div) {
+      if (iter % 50 == 49) {
+        std::printf("crs_fuzz: %llu iterations, %d divergence(s), %.1fs\n",
+                    static_cast<unsigned long long>(iter + 1), divergences,
+                    elapsed());
+        std::fflush(stdout);
+      }
+      continue;
+    }
+
+    ++divergences;
+    std::fprintf(stderr, "crs_fuzz: DIVERGENCE (iter %llu, %s): %s vs %s: %s\n",
+                 static_cast<unsigned long long>(iter), div->kind.c_str(),
+                 div->config_a.c_str(), div->config_b.c_str(),
+                 div->detail.c_str());
+    if (repros_written >= opt.max_repros) continue;
+
+    // Minimize: keep any candidate that still diverges (in any way).
+    fuzz::MinimizeStats mstats;
+    const auto minimized = fuzz::minimize(
+        program,
+        [&](const fuzz::FuzzProgram& cand) {
+          try {
+            return fuzz::check_program(cand, limits).has_value();
+          } catch (const Error&) {
+            return false;  // candidate no longer assembles
+          }
+        },
+        /*max_oracle_calls=*/600, &mstats);
+
+    fs::create_directories(opt.corpus);
+    const auto path = opt.corpus + "/repro_s" + std::to_string(opt.seed) +
+                      "_i" + std::to_string(iter) + ".casm";
+    const auto final_div = fuzz::check_program(minimized, limits);
+    core::write_text_file(
+        path, repro_text(opt, iter, final_div.value_or(*div), minimized));
+    ++repros_written;
+    std::fprintf(stderr,
+                 "crs_fuzz: minimized %zu -> %zu lines (%d oracle calls), "
+                 "wrote %s\n",
+                 program.lines.size(), minimized.lines.size(),
+                 mstats.oracle_calls, path.c_str());
+  }
+
+  // Campaign-parallelism oracle: serial vs pool over a fresh batch.
+  if (opt.parallel_batch > 0) {
+    fuzz::GeneratorOptions gopt;
+    gopt.allow_smc = opt.allow_smc;
+    gopt.allow_pivot = opt.allow_pivot;
+    gopt.allow_perturb = opt.allow_perturb;
+    if (const auto div = fuzz::check_parallel_batch(
+            derive_seed(opt.seed, 0xBA7C4), opt.parallel_batch,
+            opt.threads, gopt, limits)) {
+      ++divergences;
+      std::fprintf(stderr, "crs_fuzz: DIVERGENCE (parallel): %s vs %s: %s\n",
+                   div->config_a.c_str(), div->config_b.c_str(),
+                   div->detail.c_str());
+    }
+  }
+
+  std::printf(
+      "crs_fuzz: done — %llu programs + %llu attack configs checked in %.1fs, "
+      "%d divergence(s), %d repro(s) written\n",
+      static_cast<unsigned long long>(programs_checked),
+      static_cast<unsigned long long>(attacks_checked), elapsed(), divergences,
+      repros_written);
+  return divergences == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return usage();
+  try {
+    if (opt.update_golden || opt.check_golden) return run_golden(opt);
+    return run_fuzz(opt);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "crs_fuzz: %s\n", e.what());
+    return 1;
+  }
+}

@@ -3,19 +3,29 @@
 //   trace_export benign <workload> <scale> <out.csv>
 //   trace_export spectre <pht|rsb|stride|btb> <out.csv>
 //   trace_export crspectre <host> <scale> <out.csv>   (injected + perturbed)
+//   trace_export --golden <benign|spectre|crspectre> <ref.csv>
+//   trace_export --update-golden [dir]
 //
 // Rows carry every universe feature (measured, i.e. noisy) plus the
-// ground-truth `injected` flag.
+// ground-truth `injected` flag. `--golden` re-runs the canonical small-scale
+// scenario and diffs it against a checked-in reference CSV;
+// `--update-golden` regenerates all references (default dir: tests/golden).
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "core/report.hpp"
+#include "fuzz/golden.hpp"
 #include "support/error.hpp"
 #include "core/scenario.hpp"
 #include "hid/profiler.hpp"
 #include "sim/kernel.hpp"
 #include "workloads/workloads.hpp"
+
+#ifndef CRS_GOLDEN_DIR
+#define CRS_GOLDEN_DIR "tests/golden"
+#endif
 
 namespace {
 
@@ -25,8 +35,33 @@ int usage() {
   std::fprintf(stderr,
                "usage: trace_export benign <workload> <scale> <out.csv>\n"
                "       trace_export spectre <pht|rsb|stride|btb> <out.csv>\n"
-               "       trace_export crspectre <host> <scale> <out.csv>\n");
+               "       trace_export crspectre <host> <scale> <out.csv>\n"
+               "       trace_export --golden <benign|spectre|crspectre> "
+               "<ref.csv>\n"
+               "       trace_export --update-golden [dir]\n");
   return 2;
+}
+
+int golden_compare(const std::string& name, const std::string& ref_path) {
+  const auto live = fuzz::golden_csv(name);
+  const auto golden = fuzz::read_text_file(ref_path);
+  const auto diff = fuzz::diff_csv(name, golden, live);
+  if (diff.empty()) {
+    std::printf("golden '%s' matches %s\n", name.c_str(), ref_path.c_str());
+    return 0;
+  }
+  std::fputs(diff.c_str(), stderr);
+  return 1;
+}
+
+int golden_update(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  for (const auto& name : fuzz::golden_scenario_names()) {
+    const auto path = dir + "/" + name + ".csv";
+    core::write_text_file(path, fuzz::golden_csv(name));
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
 }
 
 attack::SpectreVariant parse_variant(const std::string& name) {
@@ -41,9 +76,18 @@ attack::SpectreVariant parse_variant(const std::string& name) {
 
 int main(int argc, char** argv) {
   using namespace crs;
-  if (argc < 4) return usage();
+  if (argc < 2) return usage();
   const std::string mode = argv[1];
   try {
+    if (mode == "--golden") {
+      if (argc != 4) return usage();
+      return golden_compare(argv[2], argv[3]);
+    }
+    if (mode == "--update-golden") {
+      if (argc > 3) return usage();
+      return golden_update(argc == 3 ? argv[2] : CRS_GOLDEN_DIR);
+    }
+    if (argc < 4) return usage();
     std::vector<hid::WindowSample> windows;
     std::string out_path;
 
