@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/campaign.hpp"
 #include "core/corpus.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
@@ -52,6 +53,25 @@ class BenchIo {
     if (f == nullptr) return;
     std::fprintf(f, "{\"name\":\"%s\",\"wall_ms\":%.3f,\"items_per_s\":%.3f}\n",
                  name.c_str(), wall_ms, items_per_s);
+    std::fclose(f);
+  }
+
+  /// One JSON line per campaign attempt with wall and simulated time — the
+  /// only surface AttemptRecord::wall_ms ever reaches (the obs registry and
+  /// traces stay wall-clock-free by contract).
+  void emit_attempts(const std::string& name,
+                     const core::CampaignResult& result) const {
+    if (json_path_.empty()) return;
+    std::FILE* f = std::fopen(json_path_.c_str(), "a");
+    if (f == nullptr) return;
+    for (const auto& a : result.attempts) {
+      std::fprintf(f,
+                   "{\"name\":\"%s:attempt%d\",\"wall_ms\":%.3f,"
+                   "\"sim_cycles\":%llu,\"detection_rate\":%.6f}\n",
+                   name.c_str(), a.attempt, a.wall_ms,
+                   static_cast<unsigned long long>(a.sim_cycles),
+                   a.detection_rate);
+    }
     std::fclose(f);
   }
 

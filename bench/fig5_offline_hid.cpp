@@ -65,6 +65,9 @@ int main(int argc, char** argv) {
       for (const auto& a : r.attempts) row.push_back(bench::pct(a.detection_rate));
       row.push_back(bench::pct(r.mean_detection()));
       table.add_row(row);
+      io.emit_attempts(std::string("fig5_") +
+                           (cr_spectre ? "crspectre" : "spectre") + ":" + kind,
+                       r);
       min_mean = std::min(min_mean, r.mean_detection());
       max_mean = std::max(max_mean, r.mean_detection());
     }

@@ -74,6 +74,9 @@ int main(int argc, char** argv) {
       }
       row.push_back(bench::pct(r.min_detection()));
       table.add_row(row);
+      io.emit_attempts(std::string("fig6_") +
+                           (cr_spectre ? "crspectre" : "spectre") + ":" + kind,
+                       r);
       min_of_means = std::min(min_of_means, r.mean_detection());
       lowest = std::min(lowest, r.min_detection());
       any_recovery |= r.max_detection() > 0.80 && r.min_detection() < 0.55;

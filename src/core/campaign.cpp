@@ -1,12 +1,64 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "hid/features.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 
 namespace crs::core {
+
+namespace {
+
+// Serial, main-thread-only summary emission: campaign-level trace events go
+// to the dedicated summary lane (never colliding with in-run lanes) with a
+// synthetic timeline of accumulated sim cycles, and the registry gets the
+// attempt tallies. Wall time deliberately never enters either sink.
+void record_attempt_observability(const AttemptRecord& record,
+                                  std::uint64_t& acc_cycles) {
+  if constexpr (!obs::kEnabled) return;
+  if (obs::tracing_enabled()) {
+    obs::LaneScope lane(obs::kSummaryLaneBase);
+    obs::ScopedSpan span("core.campaign.attempt", acc_cycles);
+    acc_cycles += record.sim_cycles;
+    span.close(acc_cycles);
+    obs::trace_counter("core.campaign.detection_rate", acc_cycles,
+                       record.detection_rate);
+    if (record.benign_fpr >= 0.0) {
+      obs::trace_counter("core.campaign.benign_fpr", acc_cycles,
+                         record.benign_fpr);
+    }
+    if (record.mutated_after) {
+      obs::trace_instant("core.campaign.mutation", acc_cycles,
+                         static_cast<double>(record.attempt));
+    }
+  } else {
+    acc_cycles += record.sim_cycles;
+  }
+
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("core.campaign.attempts").add(1);
+  reg.counter("core.campaign.sim_cycles").add(record.sim_cycles);
+  if (record.detected) reg.counter("core.campaign.detected").add(1);
+  if (record.evaded) reg.counter("core.campaign.evaded").add(1);
+  if (record.mutated_after) reg.counter("core.campaign.mutations").add(1);
+  if (record.secret_recovered) {
+    reg.counter("core.campaign.secrets_recovered").add(1);
+  }
+  static constexpr double kRateBounds[] = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                           0.6, 0.7, 0.8, 0.9, 1.0};
+  reg.histogram("core.campaign.detection_rate",
+                std::span<const double>(kRateBounds))
+      .observe(record.detection_rate);
+  reg.gauge("core.campaign.last_attempt")
+      .set(static_cast<double>(record.attempt));
+  reg.gauge("core.campaign.last_detection_rate").set(record.detection_rate);
+}
+
+}  // namespace
 
 double CampaignResult::mean_detection() const {
   if (attempts.empty()) return 0.0;
@@ -58,11 +110,17 @@ CampaignResult run_campaign(const CampaignConfig& config,
     scenario.seed = config.seed * 7919 + static_cast<std::uint64_t>(attempt);
     scenario.perturb_params = params;
 
+    const auto wall_start = std::chrono::steady_clock::now();
     ScenarioRun run = run_scenario(scenario);
+    const auto wall_end = std::chrono::steady_clock::now();
 
     AttemptRecord record;
     record.attempt = attempt;
     record.params = params;
+    record.sim_cycles = run.profile.cycles;
+    record.wall_ms = std::chrono::duration<double, std::milli>(
+                         wall_end - wall_start)
+                         .count();
     record.secret_recovered = run.secret_recovered;
     record.host_ipc = run.host_ipc;
     record.attack_window_count = run.attack_windows.size();
@@ -93,11 +151,18 @@ CampaignResult run_campaign(const CampaignConfig& config,
           return run_attempt(static_cast<int>(i) + 1, mutator.current(),
                              nullptr);
         });
+    // Summary emission happens after the index-ordered collection, on the
+    // calling thread, so it is identical to the serial campaign's.
+    std::uint64_t acc_cycles = 0;
+    for (const auto& record : result.attempts) {
+      record_attempt_observability(record, acc_cycles);
+    }
     return result;
   }
 
   // Online / dynamic campaign: attempt k's detector (and possibly mutator)
   // state depends on attempt k-1's outcome — inherently serial.
+  std::uint64_t acc_cycles = 0;
   for (int attempt = 1; attempt <= config.attempts; ++attempt) {
     ScenarioRun run;
     AttemptRecord record = run_attempt(attempt, mutator.current(), &run);
@@ -114,6 +179,7 @@ CampaignResult run_campaign(const CampaignConfig& config,
       mutator.next();
       record.mutated_after = true;
     }
+    record_attempt_observability(record, acc_cycles);
     result.attempts.push_back(record);
   }
   return result;

@@ -51,6 +51,12 @@ struct AttemptRecord {
   bool secret_recovered = false;
   double host_ipc = 0.0;
   std::size_t attack_window_count = 0;
+  /// Simulated cycles the attempt's scenario consumed (deterministic).
+  std::uint64_t sim_cycles = 0;
+  /// Wall-clock of the scenario run. NEVER fed into traces or the metrics
+  /// registry (it would break byte-reproducibility) — surfaced only through
+  /// the --bench-json reporters.
+  double wall_ms = 0.0;
 };
 
 struct CampaignResult {

@@ -2,6 +2,7 @@
 
 #include "core/scenario.hpp"
 #include "hid/features.hpp"
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
@@ -114,6 +115,14 @@ ml::Dataset build_benign_corpus(const CorpusConfig& config) {
         [&](std::size_t i) { return run_benign_spec(batch[i]); });
     if (append_until(out, runs, 0, config.windows_per_class)) break;
   }
+  // Only consumed quantities are published: batches over-produce by up to
+  // pool.size()-1 runs, so per-run profiler counters emitted during corpus
+  // construction are thread-count-dependent while these totals are not.
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("core.corpus.benign_builds").add(1);
+    reg.counter("core.corpus.benign_windows").add(out.size());
+  }
   return out;
 }
 
@@ -142,6 +151,11 @@ ml::Dataset build_attack_corpus(const CorpusConfig& config) {
         pool, batch.size(),
         [&](std::size_t i) { return run_attack_spec(batch[i]); });
     if (append_until(out, runs, 1, config.windows_per_class)) break;
+  }
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("core.corpus.attack_builds").add(1);
+    reg.counter("core.corpus.attack_windows").add(out.size());
   }
   return out;
 }

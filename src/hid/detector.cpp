@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "ml/mlp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace crs::hid {
@@ -33,6 +35,12 @@ void HidDetector::augment_and_refit(const ml::Dataset& new_universe_rows) {
   CRS_ENSURE(fitted_, "augment_and_refit before fit");
   const std::size_t history_size = training_.size();
   training_.append_all(new_universe_rows);
+  stats_.augmented_rows += new_universe_rows.size();
+  if constexpr (obs::kEnabled) {
+    obs::MetricsRegistry::instance()
+        .counter("hid.detector.augmented_rows")
+        .add(new_universe_rows.size());
+  }
   if (config_.online_mode == OnlineMode::kFullRetrain) {
     refit();
     return;
@@ -50,6 +58,16 @@ void HidDetector::augment_and_refit(const ml::Dataset& new_universe_rows) {
   const ml::Dataset projected = ml::select_features(batch, selected_);
   const ml::Matrix scaled = scaler_.transform(projected.x);
   model_->partial_fit(scaled, projected.y);
+  ++stats_.incremental_updates;
+  if constexpr (obs::kEnabled) {
+    obs::MetricsRegistry::instance()
+        .counter("hid.detector.incremental_updates")
+        .add(1);
+    // Timestamped by retrain ordinal: detector retrains happen between
+    // machine runs, so no machine cycle is meaningful here.
+    obs::trace_instant("hid.detector.retrain", stats_.retrain_events(),
+                       static_cast<double>(training_.size()));
+  }
 }
 
 void HidDetector::refit() {
@@ -78,6 +96,12 @@ void HidDetector::refit() {
   model_ = ml::make_classifier(config_.classifier, config_.seed);
   model_->fit(scaled, projected.y);
   fitted_ = true;
+  ++stats_.full_refits;
+  if constexpr (obs::kEnabled) {
+    obs::MetricsRegistry::instance().counter("hid.detector.full_refits").add(1);
+    obs::trace_instant("hid.detector.retrain", stats_.retrain_events(),
+                       static_cast<double>(training_.size()));
+  }
 }
 
 int HidDetector::predict(const sim::PmuSnapshot& window_delta) const {

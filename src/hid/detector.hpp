@@ -49,6 +49,22 @@ struct DetectorConfig {
   std::uint64_t seed = 1;
 };
 
+/// Retraining activity, observable directly instead of only through
+/// accuracy drift. Counters are cumulative over the detector's lifetime and
+/// mirrored into the MetricsRegistry (`hid.detector.*`) as they happen.
+struct DetectorStats {
+  /// Full (re)trains: the initial fit() plus every kFullRetrain update.
+  std::uint64_t full_refits = 0;
+  /// partial_fit-style kIncremental updates.
+  std::uint64_t incremental_updates = 0;
+  /// Universe rows accepted through augment_and_refit.
+  std::uint64_t augmented_rows = 0;
+
+  std::uint64_t retrain_events() const {
+    return full_refits + incremental_updates;
+  }
+};
+
 class HidDetector {
  public:
   explicit HidDetector(const DetectorConfig& config);
@@ -77,6 +93,7 @@ class HidDetector {
   const DetectorConfig& config() const { return config_; }
   std::size_t training_size() const { return training_.size(); }
   bool fitted() const { return fitted_; }
+  const DetectorStats& stats() const { return stats_; }
 
  private:
   std::vector<double> project(std::span<const double> universe_row) const;
@@ -89,6 +106,9 @@ class HidDetector {
   std::unique_ptr<ml::Classifier> model_;
   Rng replay_rng_{0x5EED1234};
   bool fitted_ = false;
+  // Mutated only from the (serial) training paths; predict/detection_rate
+  // stay const and race-free for the parallel offline campaign.
+  DetectorStats stats_;
 };
 
 }  // namespace crs::hid

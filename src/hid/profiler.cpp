@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -120,6 +122,25 @@ ProfileResult profile_run(sim::Kernel& kernel, const std::string& path,
         sample.true_delta[static_cast<std::size_t>(
             sim::Event::kInstructions)] > 0) {
       out.windows.push_back(sample);
+      if constexpr (obs::kEnabled) {
+        if (obs::tracing_enabled()) {
+          const std::uint64_t at = machine.cpu().cycle();
+          const auto ev = [&](sim::Event e) {
+            return static_cast<double>(
+                sample.delta[static_cast<std::size_t>(e)]);
+          };
+          obs::trace_instant("hid.profiler.window", at,
+                             sample.injected ? 1.0 : 0.0);
+          obs::trace_counter("hid.profiler.window.instructions", at,
+                             ev(sim::Event::kInstructions));
+          obs::trace_counter("hid.profiler.window.l1d_misses", at,
+                             ev(sim::Event::kL1dMisses));
+          obs::trace_counter("hid.profiler.window.branch_mispredicts", at,
+                             ev(sim::Event::kBranchMispredicts));
+          obs::trace_counter("hid.profiler.window.spec_instructions", at,
+                             ev(sim::Event::kSpecInstructions));
+        }
+      }
     }
 
     if (reason != sim::StopReason::kCycleLimit) {
@@ -135,6 +156,22 @@ ProfileResult profile_run(sim::Kernel& kernel, const std::string& path,
   out.output = kernel.output_string();
   out.cycles = machine.cpu().cycle() - start_cycle;
   out.instructions = machine.cpu().retired() - start_instr;
+
+  if constexpr (obs::kEnabled) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("hid.profiler.runs").add(1);
+    reg.counter("hid.profiler.windows").add(out.windows.size());
+    reg.counter("hid.profiler.injected_windows")
+        .add(out.injected_window_count());
+    static constexpr double kWindowCycleBounds[] = {1e3, 2e3, 5e3, 1e4,
+                                                    2e4, 5e4, 1e5};
+    auto& hist = reg.histogram("hid.profiler.window_cycles",
+                               std::span<const double>(kWindowCycleBounds));
+    for (const auto& w : out.windows) {
+      hist.observe(static_cast<double>(
+          w.true_delta[static_cast<std::size_t>(sim::Event::kCycles)]));
+    }
+  }
   return out;
 }
 

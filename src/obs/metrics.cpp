@@ -1,0 +1,188 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace crs::obs {
+
+std::string format_metric_number(double v) {
+  if (std::isfinite(v) && v == std::floor(v) &&
+      std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    CRS_ENSURE(bounds_[i - 1] < bounds_[i],
+               "histogram bounds must be strictly ascending");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bucket_total());
+  for (std::size_t i = 0; i < bucket_total(); ++i) buckets_[i] = 0;
+}
+
+std::size_t Histogram::bucket_index(double v) const {
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) return i;
+  }
+  return bounds_.size();
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  CRS_ENSURE(i < bucket_total(), "histogram bucket index out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::total_count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < bucket_total(); ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i < bucket_total(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CRS_ENSURE(gauges_.find(name) == gauges_.end() &&
+                 histograms_.find(name) == histograms_.end(),
+             "metric '" + std::string(name) + "' already has another kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CRS_ENSURE(counters_.find(name) == counters_.end() &&
+                 histograms_.find(name) == histograms_.end(),
+             "metric '" + std::string(name) + "' already has another kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::span<const double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CRS_ENSURE(counters_.find(name) == counters_.end() &&
+                 gauges_.find(name) == gauges_.end(),
+             "metric '" + std::string(name) + "' already has another kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(upper_bounds))
+             .first;
+  } else {
+    const auto& existing = it->second->bounds();
+    CRS_ENSURE(existing.size() == upper_bounds.size() &&
+                   std::equal(existing.begin(), existing.end(),
+                              upper_bounds.begin()),
+               "histogram '" + std::string(name) +
+                   "' re-registered with different bounds");
+  }
+  return *it->second;
+}
+
+std::vector<MetricRow> MetricsRegistry::rows() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricRow> out;
+  // The three maps are each name-sorted; a three-way merge keeps the
+  // combined listing sorted without materialising an intermediate index.
+  auto ci = counters_.begin();
+  auto gi = gauges_.begin();
+  auto hi = histograms_.begin();
+  const auto next_name = [&]() -> const std::string* {
+    const std::string* best = nullptr;
+    if (ci != counters_.end()) best = &ci->first;
+    if (gi != gauges_.end() && (best == nullptr || gi->first < *best)) {
+      best = &gi->first;
+    }
+    if (hi != histograms_.end() && (best == nullptr || hi->first < *best)) {
+      best = &hi->first;
+    }
+    return best;
+  };
+  for (const std::string* name = next_name(); name != nullptr;
+       name = next_name()) {
+    if (ci != counters_.end() && ci->first == *name) {
+      out.push_back({*name, "counter", "value",
+                     std::to_string(ci->second->value())});
+      ++ci;
+    } else if (gi != gauges_.end() && gi->first == *name) {
+      out.push_back({*name, "gauge", "value",
+                     format_metric_number(gi->second->value())});
+      ++gi;
+    } else {
+      const Histogram& h = *hi->second;
+      for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+        out.push_back({*name, "histogram",
+                       "le_" + format_metric_number(h.bounds()[b]),
+                       std::to_string(h.bucket_count(b))});
+      }
+      out.push_back({*name, "histogram", "le_inf",
+                     std::to_string(h.bucket_count(h.bounds().size()))});
+      out.push_back(
+          {*name, "histogram", "count", std::to_string(h.total_count())});
+      ++hi;
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::csv() const {
+  std::ostringstream out;
+  out << "metric,kind,field,value\n";
+  for (const auto& row : rows()) {
+    out << row.name << ',' << row.kind << ',' << row.field << ',' << row.value
+        << '\n';
+  }
+  return out.str();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace crs::obs

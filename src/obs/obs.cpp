@@ -1,0 +1,35 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+
+namespace crs::obs {
+
+namespace {
+std::atomic<bool> g_tracing{false};
+std::atomic<std::uint32_t> g_lane_next{1};
+thread_local std::uint32_t tl_lane = 0;
+}  // namespace
+
+std::uint32_t allocate_lane_block(std::uint32_t count) {
+  return g_lane_next.fetch_add(count, std::memory_order_relaxed);
+}
+
+void reset_lane_allocator() {
+  g_lane_next.store(1, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool on) {
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+std::uint32_t current_lane() { return tl_lane; }
+
+void set_current_lane(std::uint32_t lane) { tl_lane = lane; }
+
+LaneScope::LaneScope(std::uint32_t lane) : saved_(tl_lane) { tl_lane = lane; }
+
+LaneScope::~LaneScope() { tl_lane = saved_; }
+
+}  // namespace crs::obs

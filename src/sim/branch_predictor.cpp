@@ -1,5 +1,6 @@
 #include "sim/branch_predictor.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace crs::sim {
@@ -22,6 +23,7 @@ bool PatternHistoryTable::predict_taken(std::uint64_t pc) const {
 }
 
 void PatternHistoryTable::update(std::uint64_t pc, bool taken) {
+  if constexpr (obs::kEnabled) ++updates_;
   std::uint8_t& c = counters_[index(pc)];
   if (taken) {
     if (c < 3) ++c;
@@ -51,6 +53,7 @@ std::optional<std::uint64_t> BranchTargetBuffer::predict(
 }
 
 void BranchTargetBuffer::update(std::uint64_t pc, std::uint64_t target) {
+  if constexpr (obs::kEnabled) ++updates_;
   Entry& e = entries_[index(pc)];
   e.valid = true;
   e.pc = pc;
@@ -63,13 +66,21 @@ ReturnStackBuffer::ReturnStackBuffer(std::uint32_t entries) {
 }
 
 void ReturnStackBuffer::push(std::uint64_t return_address) {
+  if constexpr (obs::kEnabled) {
+    ++pushes_;
+    if (depth_ == ring_.size()) ++wraps_;
+  }
   ring_[top_] = return_address;
   top_ = (top_ + 1) % ring_.size();
   if (depth_ < ring_.size()) ++depth_;
 }
 
 std::optional<std::uint64_t> ReturnStackBuffer::pop() {
-  if (depth_ == 0) return std::nullopt;
+  if (depth_ == 0) {
+    if constexpr (obs::kEnabled) ++underflows_;
+    return std::nullopt;
+  }
+  if constexpr (obs::kEnabled) ++pops_;
   top_ = (top_ + ring_.size() - 1) % ring_.size();
   --depth_;
   return ring_[top_];
@@ -84,5 +95,16 @@ BranchPredictor::BranchPredictor(const PredictorConfig& config)
     : pht_(config.pht_entries),
       btb_(config.btb_entries),
       rsb_(config.rsb_entries) {}
+
+void BranchPredictor::publish_metrics(const std::string& prefix) const {
+  if constexpr (!obs::kEnabled) return;
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter(prefix + ".pht.updates").add(pht_.updates());
+  reg.counter(prefix + ".btb.updates").add(btb_.updates());
+  reg.counter(prefix + ".rsb.pushes").add(rsb_.pushes());
+  reg.counter(prefix + ".rsb.pops").add(rsb_.pops());
+  reg.counter(prefix + ".rsb.underflows").add(rsb_.underflows());
+  reg.counter(prefix + ".rsb.wraps").add(rsb_.wraps());
+}
 
 }  // namespace crs::sim

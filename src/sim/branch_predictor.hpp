@@ -12,7 +12,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace crs::sim {
 
@@ -31,10 +34,12 @@ class PatternHistoryTable {
   void update(std::uint64_t pc, bool taken);
   /// Counter value (0..3) for tests.
   std::uint8_t counter(std::uint64_t pc) const;
+  std::uint64_t updates() const { return updates_; }
 
  private:
   std::uint64_t index(std::uint64_t pc) const;
   std::vector<std::uint8_t> counters_;  // init 1 = weakly not-taken
+  std::uint64_t updates_ = 0;
 };
 
 /// Direct-mapped BTB: pc -> last observed target.
@@ -44,8 +49,10 @@ class BranchTargetBuffer {
 
   std::optional<std::uint64_t> predict(std::uint64_t pc) const;
   void update(std::uint64_t pc, std::uint64_t target);
+  std::uint64_t updates() const { return updates_; }
 
  private:
+  std::uint64_t updates_ = 0;
   struct Entry {
     bool valid = false;
     std::uint64_t pc = 0;
@@ -66,10 +73,21 @@ class ReturnStackBuffer {
   std::size_t depth() const { return depth_; }
   void clear();
 
+  std::uint64_t pushes() const { return pushes_; }
+  std::uint64_t pops() const { return pops_; }
+  /// Pops on an empty RSB — the misprediction window Spectre-RSB abuses.
+  std::uint64_t underflows() const { return underflows_; }
+  /// Pushes that overwrote the oldest live entry.
+  std::uint64_t wraps() const { return wraps_; }
+
  private:
   std::vector<std::uint64_t> ring_;
   std::size_t top_ = 0;    // next push slot
   std::size_t depth_ = 0;  // live entries, <= ring_.size()
+  std::uint64_t pushes_ = 0;
+  std::uint64_t pops_ = 0;
+  std::uint64_t underflows_ = 0;
+  std::uint64_t wraps_ = 0;
 };
 
 /// Facade bundling the three structures, as the CPU sees them.
@@ -83,6 +101,10 @@ class BranchPredictor {
   const PatternHistoryTable& pht() const { return pht_; }
   const BranchTargetBuffer& btb() const { return btb_; }
   const ReturnStackBuffer& rsb() const { return rsb_; }
+
+  /// Adds the structures' update/traffic counters into the MetricsRegistry
+  /// under `<prefix>.pht.*` / `.btb.*` / `.rsb.*` (no-op when disabled).
+  void publish_metrics(const std::string& prefix) const;
 
  private:
   PatternHistoryTable pht_;

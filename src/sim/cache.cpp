@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace crs::sim {
@@ -43,6 +44,7 @@ bool CacheLevel::access_search(std::uint64_t addr) {
       way.lru = use_counter_;
       mru_line_ = line;
       mru_way_ = &way;
+      if constexpr (obs::kEnabled) ++stats_.hits;
       return true;
     }
     if (!way.valid) {
@@ -50,6 +52,10 @@ bool CacheLevel::access_search(std::uint64_t addr) {
     } else if (victim->valid && way.lru < victim->lru) {
       victim = &way;
     }
+  }
+  if constexpr (obs::kEnabled) {
+    ++stats_.misses;
+    if (victim->valid) ++stats_.evictions;
   }
   victim->valid = true;
   victim->tag = tag;
@@ -149,6 +155,20 @@ void MemoryHierarchy::clear() {
   l1d_.clear();
   l1i_.clear();
   l2_.clear();
+}
+
+void MemoryHierarchy::publish_metrics(const std::string& prefix) const {
+  if constexpr (!obs::kEnabled) return;
+  auto& reg = obs::MetricsRegistry::instance();
+  const auto publish = [&](const char* level, const CacheLevelStats& s) {
+    const std::string base = prefix + "." + level;
+    reg.counter(base + ".hits").add(s.hits);
+    reg.counter(base + ".misses").add(s.misses);
+    reg.counter(base + ".evictions").add(s.evictions);
+  };
+  publish("l1d", l1d_.stats());
+  publish("l1i", l1i_.stats());
+  publish("l2", l2_.stats());
 }
 
 std::string MemoryHierarchy::check_invariants() const {

@@ -12,12 +12,24 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace crs::sim {
 
 struct CacheConfig {
   std::uint32_t size_bytes = 32 * 1024;
   std::uint32_t line_size = 64;
   std::uint32_t ways = 8;
+};
+
+/// Per-level access statistics. Plain (non-atomic) counters: a CacheLevel
+/// belongs to exactly one Machine and machines never cross threads, so the
+/// counts are deterministic; they are folded into the MetricsRegistry once
+/// per run by Machine::publish_metrics.
+struct CacheLevelStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;  ///< misses that displaced a valid line
 };
 
 /// One level of set-associative cache with LRU replacement.
@@ -38,6 +50,7 @@ class CacheLevel {
     if (line == mru_line_ && mru_way_ != nullptr && mru_way_->valid &&
         mru_way_->tag == (line >> sets_shift_)) {
       mru_way_->lru = ++use_counter_;
+      if constexpr (obs::kEnabled) ++stats_.hits;
       return true;
     }
     return access_search(addr);
@@ -65,6 +78,10 @@ class CacheLevel {
   /// Valid lines currently resident (for occupancy bounds).
   std::size_t occupancy() const;
 
+  /// Cumulative access statistics (all zero when CRS_OBS_ENABLED is 0).
+  const CacheLevelStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
  private:
   struct Way {
     bool valid = false;
@@ -90,6 +107,7 @@ class CacheLevel {
   // constructor, so the pointer stays valid for the object's lifetime).
   std::uint64_t mru_line_ = ~0ull;
   Way* mru_way_ = nullptr;
+  CacheLevelStats stats_;
 };
 
 /// Latencies in cycles for each residence level.
@@ -156,6 +174,16 @@ class MemoryHierarchy {
   /// Residence probes for tests and the covert-channel unit tests.
   bool l1d_resident(std::uint64_t addr) const { return l1d_.probe(addr); }
   bool l2_resident(std::uint64_t addr) const { return l2_.probe(addr); }
+
+  /// Per-level stats for observability cross-checks and publishing.
+  const CacheLevel& l1d() const { return l1d_; }
+  const CacheLevel& l1i() const { return l1i_; }
+  const CacheLevel& l2() const { return l2_; }
+
+  /// Adds this hierarchy's per-level hit/miss/eviction totals into the
+  /// MetricsRegistry under `<prefix>.l1d.*` / `.l1i.*` / `.l2.*`. Call once
+  /// per machine at the end of a run.
+  void publish_metrics(const std::string& prefix) const;
 
   /// Runs check_invariants on every level; "" when all are consistent.
   std::string check_invariants() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace crs::sim {
@@ -540,6 +541,16 @@ class SpecMemoryView {
 }  // namespace
 
 void Cpu::run_wrong_path(std::uint64_t spec_pc, std::uint64_t budget) {
+  if constexpr (obs::kEnabled) {
+    ++spec_episodes_;
+    // The episode runs entirely at the checkpointed cycle_, so enter and
+    // squash are instants (a zero-width span would render invisibly).
+    obs::trace_instant("cpu.spec_enter", cycle_, static_cast<double>(budget));
+  }
+  std::uint64_t spec_before = 0;
+  if constexpr (obs::kEnabled) {
+    spec_before = pmu_.count(Event::kSpecInstructions);
+  }
   std::uint64_t spec_regs[isa::kNumRegisters];
   std::copy(std::begin(regs_), std::end(regs_), std::begin(spec_regs));
   SpecMemoryView view(memory_);
@@ -698,6 +709,12 @@ void Cpu::run_wrong_path(std::uint64_t spec_pc, std::uint64_t budget) {
   }
   // Episode ends: spec_regs and the store buffer are discarded. Cache and
   // predictor-adjacent PMU effects remain — that is the covert channel.
+  if constexpr (obs::kEnabled) {
+    obs::trace_instant(
+        "cpu.spec_squash", cycle_,
+        static_cast<double>(pmu_.count(Event::kSpecInstructions) -
+                            spec_before));
+  }
 }
 
 }  // namespace crs::sim

@@ -122,6 +122,10 @@ class Cpu {
   std::uint64_t cycle() const { return cycle_; }
   std::uint64_t retired() const { return retired_; }
 
+  /// Wrong-path episodes entered (mispredicted branch/jump/return with a
+  /// non-zero speculation budget). Always zero when CRS_OBS_ENABLED is 0.
+  std::uint64_t spec_episodes() const { return spec_episodes_; }
+
   void set_syscall_handler(SyscallHandler handler) {
     syscall_handler_ = std::move(handler);
   }
@@ -181,6 +185,7 @@ class Cpu {
   std::uint64_t pc_ = 0;
   std::uint64_t cycle_ = 0;
   std::uint64_t retired_ = 0;
+  std::uint64_t spec_episodes_ = 0;
   bool halted_ = true;
   Fault fault_;
   SyscallHandler syscall_handler_;

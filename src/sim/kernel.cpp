@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace crs::sim {
@@ -209,6 +211,8 @@ SyscallOutcome Kernel::handle_syscall(Cpu& cpu) {
         return SyscallOutcome::kContinue;
       }
       exit_code_ = static_cast<std::int64_t>(cpu.reg(1));
+      obs::trace_instant("kernel.exit", cpu.cycle(),
+                         static_cast<double>(exit_code_));
       return SyscallOutcome::kHalt;
     }
     case kSysWrite: {
@@ -243,6 +247,7 @@ SyscallOutcome Kernel::handle_syscall(Cpu& cpu) {
       return SyscallOutcome::kContinue;
     }
     case kSysAbort:
+      obs::trace_instant("kernel.abort", cpu.cycle());
       cpu.raise_fault(FaultKind::kStackCanary, cpu.sp());
       return SyscallOutcome::kHalt;
     default:
@@ -317,11 +322,30 @@ SyscallOutcome Kernel::do_execve(Cpu& cpu) {
   ctx.pc = cpu.pc();  // already past the syscall: the gadget's ret
   saved_contexts_.push_back(ctx);
   ++execve_count_;
+  // Depth as the value: nested spawns render as stacked markers.
+  obs::trace_instant("kernel.execve", cpu.cycle(),
+                     static_cast<double>(saved_contexts_.size()));
 
   for (int r = 0; r < isa::kNumRegisters; ++r) cpu.set_reg(r, 0);
   cpu.set_sp(injected_stack_tops_.at(path) - 64);
   cpu.set_pc(info.entry);
   return SyscallOutcome::kContinue;
+}
+
+void Machine::publish_metrics(const std::string& prefix) const {
+  if constexpr (!obs::kEnabled) return;
+  auto& reg = obs::MetricsRegistry::instance();
+  const PmuSnapshot& snap = pmu_.snapshot();
+  for (std::size_t e = 0; e < kEventCount; ++e) {
+    reg.counter(prefix + ".pmu." +
+                std::string(event_name(static_cast<Event>(e))))
+        .add(snap[e]);
+  }
+  hierarchy_.publish_metrics(prefix + ".cache");
+  predictor_.publish_metrics(prefix + ".predictor");
+  reg.counter(prefix + ".cpu.spec_episodes").add(cpu_.spec_episodes());
+  reg.counter(prefix + ".cpu.cycles").add(cpu_.cycle());
+  reg.counter(prefix + ".cpu.retired").add(cpu_.retired());
 }
 
 }  // namespace crs::sim

@@ -61,6 +61,17 @@ class Machine {
   const Cpu& cpu() const { return cpu_; }
   const MachineConfig& config() const { return config_; }
 
+  const MemoryHierarchy& hierarchy() const { return hierarchy_; }
+  const BranchPredictor& predictor() const { return predictor_; }
+  const Pmu& pmu() const { return pmu_; }
+
+  /// Folds this machine's cumulative observability state — every PMU event,
+  /// per-level cache stats, predictor traffic and speculation episodes —
+  /// into the process-wide MetricsRegistry under `<prefix>.*`. Call exactly
+  /// once per machine, after its run completes (counters are cumulative).
+  /// No-op when CRS_OBS_ENABLED is 0.
+  void publish_metrics(const std::string& prefix) const;
+
  private:
   MachineConfig config_;
   Memory memory_;

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/obs.hpp"
+
 namespace crs {
 
 namespace {
@@ -59,9 +61,13 @@ void ThreadPool::run_items() {
   while (fn_ != nullptr && next_ < total_) {
     const std::size_t index = next_++;
     const auto* fn = fn_;
+    const std::uint32_t lane_base = lane_base_;
     lock.unlock();
     std::exception_ptr err;
     try {
+      // Tag everything the item emits with the region's lane for its index
+      // so traces are independent of which OS thread picked it up.
+      obs::LaneScope lane(lane_base + static_cast<std::uint32_t>(index));
       (*fn)(index);
     } catch (...) {
       err = std::current_exception();
@@ -90,9 +96,17 @@ void ThreadPool::worker_loop() {
 void ThreadPool::for_each_index(std::size_t n,
                                 const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Every region claims a fresh lane block — in program order, so the lane
+  // of work item i is the same for every thread count.
+  const std::uint32_t lane_base =
+      obs::allocate_lane_block(static_cast<std::uint32_t>(n));
   if (workers_.empty()) {
     // Serial fallback: no pool machinery, exceptions propagate directly.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // Lanes are still scoped so serial and pooled runs emit identically.
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::LaneScope lane(lane_base + static_cast<std::uint32_t>(i));
+      fn(i);
+    }
     return;
   }
   {
@@ -101,6 +115,7 @@ void ThreadPool::for_each_index(std::size_t n,
     total_ = n;
     next_ = 0;
     pending_ = n;
+    lane_base_ = lane_base;
     error_ = nullptr;
   }
   wake_.notify_all();

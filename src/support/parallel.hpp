@@ -73,6 +73,7 @@ class ThreadPool {
   std::size_t total_ = 0;
   std::size_t next_ = 0;
   std::size_t pending_ = 0;
+  std::uint32_t lane_base_ = 0;  // obs lane block of the active job
   std::exception_ptr error_;
   bool stop_ = false;
 };

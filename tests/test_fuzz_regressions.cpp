@@ -15,6 +15,9 @@
 #include "fuzz/differ.hpp"
 #include "fuzz/generator.hpp"
 #include "fuzz/minimize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "sim/kernel.hpp"
 #include "support/parallel.hpp"
 #include "support/rng.hpp"
 
@@ -79,6 +82,61 @@ TEST(FuzzCorpus, ReplayAllEntriesCleanly) {
     const auto div = fuzz::check_source(entry.source, entry.smc, entry.rdcycle);
     EXPECT_FALSE(div.has_value())
         << entry.name << ": " << (div ? div->kind + ": " + div->detail : "");
+  }
+}
+
+// Cross-check tier: the observability cache stats must reconcile exactly
+// with the PMU for every corpus program, both as raw struct counters and
+// after publication into the metrics registry. (The differential oracle
+// also checks the raw identities on every run — this test additionally
+// pins the publish_metrics plumbing.)
+TEST(FuzzCorpus, CacheStatsReconcileWithPmuForAllEntries) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with CRSPECTRE_OBS=OFF";
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const auto entry = load_corpus_file(path);
+    const auto program =
+        casm::assemble(entry.source + casm::runtime_library(),
+                       {.name = "xcheck", .link_base = 0x10000});
+    sim::Machine machine;
+    sim::Kernel kernel(machine);
+    kernel.register_binary("/bin/fuzz", program);
+    kernel.start_with_strings("/bin/fuzz", {"fuzz"});
+    if (entry.smc) {
+      const auto& img = kernel.main_image();
+      const auto page = sim::Memory::kPageSize;
+      const auto lo = img.lo / page * page;
+      const auto hi = (img.hi + page - 1) / page * page;
+      machine.memory().set_permissions(
+          lo, hi - lo,
+          static_cast<sim::Perm>(sim::kPermRead | sim::kPermWrite |
+                                 sim::kPermExec));
+    }
+    kernel.run(2'000'000);
+
+    const auto& pmu = machine.pmu();
+    const auto count = [&](sim::Event e) { return pmu.count(e); };
+    const auto& l1d = machine.hierarchy().l1d().stats();
+    const auto& l1i = machine.hierarchy().l1i().stats();
+    const auto& l2 = machine.hierarchy().l2().stats();
+    EXPECT_EQ(l1d.hits + l1d.misses, count(sim::Event::kL1dAccesses));
+    EXPECT_EQ(l1d.misses, count(sim::Event::kL1dMisses));
+    EXPECT_EQ(l1i.hits + l1i.misses, count(sim::Event::kL1iAccesses));
+    EXPECT_EQ(l1i.misses, count(sim::Event::kL1iMisses));
+    // Fetch-path L2 refills are booked by the PMU under kL1iMisses.
+    EXPECT_EQ(l2.hits + l2.misses,
+              count(sim::Event::kL2Accesses) + count(sim::Event::kL1iMisses));
+    EXPECT_GE(l2.misses, count(sim::Event::kL2Misses));
+
+    // publish_metrics adds exactly the struct counters to the registry.
+    auto& reg = obs::MetricsRegistry::instance();
+    const auto before = reg.counter("xcheck.cache.l1d.hits").value();
+    const auto before_pmu =
+        reg.counter("xcheck.pmu.l1d_accesses").value();
+    machine.publish_metrics("xcheck");
+    EXPECT_EQ(reg.counter("xcheck.cache.l1d.hits").value() - before, l1d.hits);
+    EXPECT_EQ(reg.counter("xcheck.pmu.l1d_accesses").value() - before_pmu,
+              count(sim::Event::kL1dAccesses));
   }
 }
 

@@ -295,6 +295,52 @@ TEST(Detector, FullRetrainModeAlsoAdapts) {
   EXPECT_GT(det.detection_rate(novel.windows), 0.8);
 }
 
+TEST(Detector, StatsCountRetrainEventsInIncrementalMode) {
+  ml::Dataset train = labelled_windows("bitcount", 0, 2000);
+  train.append_all(labelled_windows("pointer_chase", 1, 60));
+  DetectorConfig cfg;
+  cfg.classifier = "MLP";
+  cfg.online_mode = OnlineMode::kIncremental;
+  cfg.features = paper_feature_indices();
+  HidDetector det(cfg);
+  EXPECT_EQ(det.stats().retrain_events(), 0u);
+
+  det.fit(train);
+  // The initial fit is one full (re)train; nothing incremental yet.
+  EXPECT_EQ(det.stats().full_refits, 1u);
+  EXPECT_EQ(det.stats().incremental_updates, 0u);
+  EXPECT_EQ(det.stats().augmented_rows, 0u);
+  EXPECT_EQ(det.stats().retrain_events(), 1u);
+
+  const auto novel = profile_workload("stream", 60);
+  const auto batch = windows_to_dataset(novel.windows, 1);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    det.augment_and_refit(batch);
+    EXPECT_EQ(det.stats().full_refits, 1u) << "incremental mode never refits";
+    EXPECT_EQ(det.stats().incremental_updates, i);
+    EXPECT_EQ(det.stats().augmented_rows, i * batch.size());
+    EXPECT_EQ(det.stats().retrain_events(), 1u + i);
+  }
+}
+
+TEST(Detector, StatsCountRetrainEventsInFullRetrainMode) {
+  ml::Dataset train = labelled_windows("bitcount", 0, 2000);
+  train.append_all(labelled_windows("pointer_chase", 1, 60));
+  DetectorConfig cfg;
+  cfg.classifier = "LR";
+  cfg.online_mode = OnlineMode::kFullRetrain;
+  HidDetector det(cfg);
+  det.fit(train);
+  const auto novel = profile_workload("stream", 60);
+  det.augment_and_refit(windows_to_dataset(novel.windows, 1));
+  det.augment_and_refit(windows_to_dataset(novel.windows, 1));
+  // fit() plus two full retrains, no incremental updates.
+  EXPECT_EQ(det.stats().full_refits, 3u);
+  EXPECT_EQ(det.stats().incremental_updates, 0u);
+  EXPECT_EQ(det.stats().augmented_rows, 2u * novel.windows.size());
+  EXPECT_EQ(det.stats().retrain_events(), 3u);
+}
+
 TEST(Detector, UsageErrors) {
   DetectorConfig cfg;
   HidDetector det(cfg);

@@ -10,7 +10,10 @@
 
 #include "core/campaign.hpp"
 #include "core/corpus.hpp"
+#include "core/scenario.hpp"
 #include "hid/features.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/parallel.hpp"
 
 namespace crs {
@@ -130,6 +133,71 @@ TEST(ParallelDeterminism, CorpusAndCampaignAreThreadCountInvariant) {
     } else {
       EXPECT_EQ(corpus_fp, corpus_ref) << "threads=" << threads;
       EXPECT_EQ(campaign_fp, campaign_ref) << "threads=" << threads;
+    }
+  }
+}
+
+// The observability flavour of the determinism guarantee: the merged trace
+// (Chrome JSON and CSV) and the metrics CSV of a traced golden-crspectre
+// scenario plus a small offline campaign are byte-identical for 1, 2 and 8
+// worker threads.
+TEST(ParallelDeterminism, TracesAndMetricsAreThreadCountInvariant) {
+  if (!obs::kEnabled) GTEST_SKIP() << "built with CRSPECTRE_OBS=OFF";
+
+  // Corpora are built once, untraced: corpus batches over-produce by up to
+  // pool.size()-1 runs (see corpus.cpp), so their per-run emission volume is
+  // thread-count-dependent by design and excluded from the contract.
+  core::CorpusConfig cc;
+  cc.windows_per_class = 24;
+  cc.host_scale = 300;
+  cc.seed = 1234;
+  const auto benign = core::build_benign_corpus(cc);
+  const auto attack = core::build_attack_corpus(cc);
+
+  // The golden crspectre scenario (mirrors fuzz/golden.cpp).
+  core::ScenarioConfig sc;
+  sc.host = "basicmath";
+  sc.host_scale = 3000;
+  sc.rop_injected = true;
+  sc.perturb = true;
+  sc.perturb_params.delay = 500;
+  sc.perturb_params.loop_count = 10;
+  sc.seed = 7;
+  sc.profiler.window_cycles = 5'000;
+
+  std::string chrome_ref, csv_ref, metrics_ref;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_thread_override(threads);
+    obs::TraceSink::instance().clear();
+    obs::reset_lane_allocator();
+    obs::MetricsRegistry::instance().reset_values();
+    obs::set_tracing_enabled(true);
+
+    core::run_scenario(sc);
+
+    core::CampaignConfig cfg;
+    cfg.detector.classifier = "MLP";
+    cfg.detector.features = hid::paper_feature_indices();
+    cfg.attempts = 4;
+    cfg.seed = 55;
+    core::run_campaign(cfg, benign, attack);
+
+    obs::set_tracing_enabled(false);
+    set_thread_override(0);
+
+    const auto chrome = obs::TraceSink::instance().chrome_json();
+    const auto csv = obs::TraceSink::instance().csv();
+    const auto metrics = obs::MetricsRegistry::instance().csv();
+    EXPECT_EQ(obs::validate_chrome_trace(chrome), "") << "threads=" << threads;
+    EXPECT_GT(obs::TraceSink::instance().event_count(), 0u);
+    if (threads == 1) {
+      chrome_ref = chrome;
+      csv_ref = csv;
+      metrics_ref = metrics;
+    } else {
+      EXPECT_EQ(chrome, chrome_ref) << "threads=" << threads;
+      EXPECT_EQ(csv, csv_ref) << "threads=" << threads;
+      EXPECT_EQ(metrics, metrics_ref) << "threads=" << threads;
     }
   }
 }

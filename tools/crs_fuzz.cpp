@@ -5,6 +5,8 @@
 //            [--no-smc] [--no-pivot] [--no-perturb] [--max-repros R]
 //   crs_fuzz --update-golden [DIR]     regenerate tests/golden CSVs
 //   crs_fuzz --check-golden  [DIR]     diff live scenarios vs checked-in CSVs
+//   crs_fuzz --check-trace <file.json> validate a Chrome trace_event JSON
+//                                      (schema + B/E span nesting)
 //
 // Each iteration i derives its own Rng from (seed, i), generates a random
 // program, and runs the differential oracle (decode cache on/off, cache
@@ -30,6 +32,7 @@
 #include "fuzz/generator.hpp"
 #include "fuzz/golden.hpp"
 #include "fuzz/minimize.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 
@@ -60,6 +63,7 @@ struct Options {
   bool allow_perturb = true;
   bool update_golden = false;
   bool check_golden = false;
+  std::string check_trace;
 };
 
 int usage() {
@@ -70,7 +74,8 @@ int usage() {
       "                [--parallel-batch B] [--max-repros R]\n"
       "                [--no-smc] [--no-pivot] [--no-perturb]\n"
       "       crs_fuzz --update-golden [DIR]\n"
-      "       crs_fuzz --check-golden [DIR]\n");
+      "       crs_fuzz --check-golden [DIR]\n"
+      "       crs_fuzz --check-trace <file.json>\n");
   return 2;
 }
 
@@ -114,6 +119,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.allow_pivot = false;
     } else if (a == "--no-perturb") {
       opt.allow_perturb = false;
+    } else if (a == "--check-trace") {
+      if (i + 1 >= argc) return false;
+      opt.check_trace = argv[++i];
     } else if (a == "--update-golden" || a == "--check-golden") {
       (a == "--update-golden" ? opt.update_golden : opt.check_golden) = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') opt.golden_dir = argv[++i];
@@ -187,6 +195,19 @@ int run_golden(const Options& opt) {
     }
   }
   return failures == 0 ? 0 : 1;
+}
+
+int run_check_trace(const std::string& path) {
+  const auto json = fuzz::read_text_file(path);
+  const auto diag = obs::validate_chrome_trace(json);
+  if (diag.empty()) {
+    std::printf("crs_fuzz: trace %s OK (%zu bytes)\n", path.c_str(),
+                json.size());
+    return 0;
+  }
+  std::fprintf(stderr, "crs_fuzz: trace %s INVALID: %s\n", path.c_str(),
+               diag.c_str());
+  return 1;
 }
 
 int run_fuzz(const Options& opt) {
@@ -312,6 +333,7 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opt)) return usage();
   try {
     if (opt.update_golden || opt.check_golden) return run_golden(opt);
+    if (!opt.check_trace.empty()) return run_check_trace(opt.check_trace);
     return run_fuzz(opt);
   } catch (const Error& e) {
     std::fprintf(stderr, "crs_fuzz: %s\n", e.what());

@@ -6,6 +6,9 @@
 //                                    library code that fans out
 //   crsim --bench-json <path> ...    append a {"name",...} JSON line with
 //                                    the run's wall time and retired/s
+//   crsim --trace <out.json> ...     write a Chrome trace_event JSON of the
+//                                    run (chrome://tracing / Perfetto)
+//   crsim --metrics <out.csv> ...    write the metrics registry as CSV
 //
 // The runtime library (print/exit_/memcpy/... and the gadget-donating
 // helpers) is linked in automatically, exactly as for the built-in
@@ -20,6 +23,9 @@
 
 #include "casm/assembler.hpp"
 #include "casm/runtime.hpp"
+#include "core/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/kernel.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
@@ -44,6 +50,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: crsim [--disasm] [--threads N] [--bench-json <path>] "
+                 "[--trace <out.json>] [--metrics <out.csv>] "
                  "<prog.s> [args...]\n"
                  "       assembles with the runtime library and runs the "
                  "program on the simulator\n");
@@ -53,6 +60,8 @@ int main(int argc, char** argv) {
   try {
     bool disasm = false;
     std::string json_path;
+    std::string trace_path;
+    std::string metrics_path;
     int argi = 1;
     while (argi < argc && argv[argi][0] == '-') {
       const std::string flag = argv[argi];
@@ -65,6 +74,12 @@ int main(int argc, char** argv) {
         argi += 2;
       } else if (flag == "--bench-json" && argi + 1 < argc) {
         json_path = argv[argi + 1];
+        argi += 2;
+      } else if (flag == "--trace" && argi + 1 < argc) {
+        trace_path = argv[argi + 1];
+        argi += 2;
+      } else if (flag == "--metrics" && argi + 1 < argc) {
+        metrics_path = argv[argi + 1];
         argi += 2;
       } else {
         std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
@@ -88,12 +103,21 @@ int main(int argc, char** argv) {
     std::vector<std::string> args{path};
     for (; argi < argc; ++argi) args.emplace_back(argv[argi]);
 
+    if ((!trace_path.empty() || !metrics_path.empty()) && !obs::kEnabled) {
+      std::fprintf(stderr,
+                   "crsim: built with CRSPECTRE_OBS=OFF — trace/metrics "
+                   "output will be empty\n");
+    }
+    if (!trace_path.empty()) obs::set_tracing_enabled(true);
+
     sim::Machine machine;
     sim::Kernel kernel(machine);
     kernel.register_binary(path, program);
     kernel.start_with_strings(path, args);
+    obs::TraceSpan run_span("crsim.run", machine.cpu().cycle());
     const auto t0 = std::chrono::steady_clock::now();
     const auto reason = kernel.run(2'000'000'000);
+    run_span.close(machine.cpu().cycle());
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0)
@@ -129,6 +153,21 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[pmu] %-20s %llu\n",
                    std::string(sim::event_name(e)).c_str(),
                    static_cast<unsigned long long>(machine.pmu().count(e)));
+    }
+    if (!trace_path.empty()) {
+      obs::set_tracing_enabled(false);
+      core::write_text_file(trace_path, obs::TraceSink::instance().chrome_json());
+      std::fprintf(stderr, "[crsim] wrote %zu trace events to %s\n",
+                   obs::TraceSink::instance().event_count(),
+                   trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      machine.publish_metrics("sim");
+      core::write_text_file(metrics_path,
+                            obs::MetricsRegistry::instance().csv());
+      std::fprintf(stderr, "[crsim] wrote %zu metrics to %s\n",
+                   obs::MetricsRegistry::instance().size(),
+                   metrics_path.c_str());
     }
     if (!json_path.empty()) {
       if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {

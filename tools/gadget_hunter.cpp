@@ -3,6 +3,8 @@
 //   gadget_hunter <prog.s>            print the full gadget catalogue
 //   gadget_hunter --plan <prog.s>     additionally plan the execve chain
 //                                     (frame recon + payload hexdump)
+//   gadget_hunter --metrics <out.csv> also dump scan metrics (gadget count,
+//                                     chain feasibility, payload size) as CSV
 //
 // `prog.s` is assembled with the runtime library, like crsim does; the
 // scanner then decodes its executable pages the way the paper's authors
@@ -14,6 +16,8 @@
 
 #include "casm/assembler.hpp"
 #include "casm/runtime.hpp"
+#include "core/report.hpp"
+#include "obs/metrics.hpp"
 #include "rop/plan.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -33,15 +37,27 @@ std::string read_file(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace crs;
   if (argc < 2) {
-    std::fprintf(stderr, "usage: gadget_hunter [--plan] <prog.s>\n");
+    std::fprintf(stderr,
+                 "usage: gadget_hunter [--plan] [--metrics <out.csv>] "
+                 "<prog.s>\n");
     return 2;
   }
   try {
     bool plan_chain = false;
+    std::string metrics_path;
     int argi = 1;
-    if (std::string(argv[argi]) == "--plan") {
-      plan_chain = true;
-      ++argi;
+    while (argi < argc && argv[argi][0] == '-') {
+      const std::string flag = argv[argi];
+      if (flag == "--plan") {
+        plan_chain = true;
+        ++argi;
+      } else if (flag == "--metrics" && argi + 1 < argc) {
+        metrics_path = argv[argi + 1];
+        argi += 2;
+      } else {
+        std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+        return 2;
+      }
     }
     if (argi >= argc) {
       std::fprintf(stderr, "missing input file\n");
@@ -61,10 +77,22 @@ int main(int argc, char** argv) {
     std::printf("\nexecve chain constructible: %s\n",
                 builder.can_build_execve() ? "yes" : "NO");
 
+    if constexpr (obs::kEnabled) {
+      auto& reg = obs::MetricsRegistry::instance();
+      reg.counter("rop.gadgets_found").add(gadgets.size());
+      reg.gauge("rop.chain_constructible")
+          .set(builder.can_build_execve() ? 1.0 : 0.0);
+    }
+
     if (plan_chain && builder.can_build_execve()) {
       rop::ReconSpec spec;
       spec.path = path;
       const auto plan = rop::plan_injection(program, spec, "/bin/cr_spectre");
+      if constexpr (obs::kEnabled) {
+        obs::MetricsRegistry::instance()
+            .counter("rop.payload_bytes")
+            .add(plan.payload.bytes.size());
+      }
       std::printf("frame: buffer %s, return slot %s, filler %llu bytes\n",
                   hex(plan.frame.buffer_address).c_str(),
                   hex(plan.frame.return_slot).c_str(),
@@ -76,6 +104,18 @@ int main(int argc, char** argv) {
         if (i % 16 == 15) std::printf("\n");
       }
       if (plan.payload.bytes.size() % 16 != 0) std::printf("\n");
+    }
+    if (!metrics_path.empty()) {
+      if (!obs::kEnabled) {
+        std::fprintf(stderr,
+                     "gadget_hunter: built with CRSPECTRE_OBS=OFF — metrics "
+                     "output will be empty\n");
+      }
+      crs::core::write_text_file(metrics_path,
+                                 obs::MetricsRegistry::instance().csv());
+      std::printf("wrote %zu metrics to %s\n",
+                  obs::MetricsRegistry::instance().size(),
+                  metrics_path.c_str());
     }
     return 0;
   } catch (const Error& e) {

@@ -5,6 +5,10 @@
 //   trace_export crspectre <host> <scale> <out.csv>   (injected + perturbed)
 //   trace_export --golden <benign|spectre|crspectre> <ref.csv>
 //   trace_export --update-golden [dir]
+//   trace_export --chrome <benign|spectre|crspectre> <out.json>
+//
+// `--chrome` re-runs a golden scenario with structured tracing enabled and
+// writes the merged Chrome trace_event JSON (chrome://tracing / Perfetto).
 //
 // Rows carry every universe feature (measured, i.e. noisy) plus the
 // ground-truth `injected` flag. `--golden` re-runs the canonical small-scale
@@ -17,6 +21,7 @@
 
 #include "core/report.hpp"
 #include "fuzz/golden.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "core/scenario.hpp"
 #include "hid/profiler.hpp"
@@ -38,7 +43,9 @@ int usage() {
                "       trace_export crspectre <host> <scale> <out.csv>\n"
                "       trace_export --golden <benign|spectre|crspectre> "
                "<ref.csv>\n"
-               "       trace_export --update-golden [dir]\n");
+               "       trace_export --update-golden [dir]\n"
+               "       trace_export --chrome <benign|spectre|crspectre> "
+               "<out.json>\n");
   return 2;
 }
 
@@ -86,6 +93,22 @@ int main(int argc, char** argv) {
     if (mode == "--update-golden") {
       if (argc > 3) return usage();
       return golden_update(argc == 3 ? argv[2] : CRS_GOLDEN_DIR);
+    }
+    if (mode == "--chrome") {
+      if (argc != 4) return usage();
+      if (!obs::kEnabled) {
+        std::fprintf(stderr,
+                     "trace_export: built with CRSPECTRE_OBS=OFF — the trace "
+                     "will be empty\n");
+      }
+      obs::set_tracing_enabled(true);
+      fuzz::golden_csv(argv[2]);  // runs the canonical scenario, traced
+      obs::set_tracing_enabled(false);
+      auto& sink = obs::TraceSink::instance();
+      core::write_text_file(argv[3], sink.chrome_json());
+      std::printf("wrote %zu trace events to %s\n", sink.event_count(),
+                  argv[3]);
+      return 0;
     }
     if (argc < 4) return usage();
     std::vector<hid::WindowSample> windows;
