@@ -6,6 +6,7 @@
 #include "casm/assembler.hpp"
 #include "casm/runtime.hpp"
 #include "core/corpus.hpp"
+#include "mitigate/fence_pass.hpp"
 #include "rop/gadget.hpp"
 #include "sim/kernel.hpp"
 #include "support/parallel.hpp"
@@ -126,6 +127,24 @@ void BM_AttackBinaryGeneration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_AttackBinaryGeneration)->Unit(benchmark::kMicrosecond);
+
+// Throughput of the load-time fence-insertion hardening pass (pages/s):
+// one decode+classify sweep over a real workload image, the cost every
+// hardened load pays at map time.
+void BM_FenceInsertion(benchmark::State& state) {
+  workloads::WorkloadOptions opt;
+  opt.scale = 1000;
+  const auto pristine = workloads::build_workload("bitcount", opt);
+  std::uint64_t pages = 0;
+  for (auto _ : state) {
+    sim::Program prog = pristine;  // rewrite a fresh copy each iteration
+    const auto stats = mitigate::insert_bounds_fences(prog);
+    benchmark::DoNotOptimize(stats.fences_planted);
+    pages += stats.pages_scanned;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pages));
+}
+BENCHMARK(BM_FenceInsertion)->Unit(benchmark::kMicrosecond);
 
 void BM_SpectreEndToEnd(benchmark::State& state) {
   attack::AttackConfig cfg;

@@ -1,0 +1,105 @@
+// The attack-vs-defense evaluation matrix.
+//
+// Sweeps {plain Spectre variants, CR-Spectre} × {mitigation presets} and
+// reports, per cell: leak-success rate (did flush+reload exfiltrate the
+// golden secret), HID detection rate over the attack-active windows, how
+// much mitigation machinery actually engaged, and — per preset — the IPC
+// overhead the defense costs a clean host. This is the paper's evaluation
+// turned defense-side: the `none` column must reproduce CR-Spectre's
+// leak-and-evade result, and at least one fence-style preset must drive the
+// plain Spectre leak rate to zero.
+//
+// Determinism: every cell attempt derives its seed from (base seed, flat
+// item index) and cells are collected by index, so the matrix is
+// byte-identical for any CRS_THREADS value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "hid/detector.hpp"
+#include "mitigate/config.hpp"
+
+namespace crs::core {
+
+/// One attack row of the matrix.
+struct AttackSpec {
+  std::string name;      ///< e.g. "spectre-pht", "cr-spectre"
+  ScenarioConfig scenario;
+};
+
+struct DefenseMatrixConfig {
+  /// Attempts per (attack, preset) cell; leak/detection rates average them.
+  int attempts = 4;
+  std::uint64_t seed = 23;
+  /// Host work scale for the CR-Spectre row and the overhead probes.
+  std::uint64_t host_scale = 8000;
+  std::string secret = "CRSPECTRE-SECRET";
+  /// Presets to sweep; empty = every named preset in display order.
+  std::vector<std::string> presets;
+  /// Training-corpus size per class for the shared (unmitigated) detector.
+  std::size_t corpus_windows = 160;
+  /// Repeats for the per-preset IPC-overhead probe.
+  int overhead_repeats = 2;
+  /// Quick mode: fewer attempts/windows, for the CI smoke job.
+  bool quick = false;
+
+  /// Effective values after the quick-mode clamp.
+  int effective_attempts() const { return quick ? 2 : attempts; }
+  std::size_t effective_corpus_windows() const {
+    return quick ? 60 : corpus_windows;
+  }
+  int effective_overhead_repeats() const { return quick ? 1 : overhead_repeats; }
+};
+
+/// One (attack, preset) cell, averaged over the configured attempts.
+struct MatrixCell {
+  std::string attack;
+  std::string preset;
+  int attempts = 0;
+  int leaks = 0;                  ///< attempts that recovered the secret
+  double leak_rate = 0.0;
+  double hid_detection = 0.0;     ///< mean detection over attack windows
+  /// Total mitigation events across the cell's attempts (the "did the
+  /// defense actually engage" column; 0 only for the `none` preset).
+  std::uint64_t mitigation_events = 0;
+  /// Per-counter breakdown behind mitigation_events, summed over attempts.
+  mitigate::MitigationSummary summary;
+};
+
+struct DefenseMatrixResult {
+  std::vector<std::string> presets;          ///< column order
+  std::vector<std::string> attacks;          ///< row order
+  std::vector<MatrixCell> cells;             ///< row-major (attack × preset)
+  /// Per-preset clean-host IPC overhead (percent), aligned with `presets`.
+  std::vector<double> ipc_overhead_pct;
+
+  const MatrixCell& cell(const std::string& attack,
+                         const std::string& preset) const;
+
+  /// Mitigation activity of one preset summed over every attack row — the
+  /// `--metrics` view.
+  mitigate::MitigationSummary preset_summary(const std::string& preset) const;
+};
+
+/// The default attack rows: spectre-pht and spectre-rsb standalone, plus
+/// the ROP-injected CR-Spectre with the paper's static perturbation.
+std::vector<AttackSpec> default_attacks(const DefenseMatrixConfig& config);
+
+DefenseMatrixResult run_defense_matrix(const DefenseMatrixConfig& config);
+
+/// CSV: header row `attack,preset,attempts,leaks,leak_rate,hid_detection,
+/// mitigation_events,ipc_overhead_pct`, one line per cell.
+std::string matrix_csv(const DefenseMatrixResult& result);
+
+/// JSON object with `presets`, `attacks`, `cells` and `ipc_overhead_pct`.
+std::string matrix_json(const DefenseMatrixResult& result);
+
+/// Per-preset mitigation-counter CSV: `preset,metric,value`, one line per
+/// (preset, non-zero-or-not counter). Ground-truth counters, present in
+/// every build flavour (not obs-gated).
+std::string matrix_metrics_csv(const DefenseMatrixResult& result);
+
+}  // namespace crs::core

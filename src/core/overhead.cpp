@@ -11,22 +11,28 @@ namespace crs::core {
 
 namespace {
 
-/// IPC of a clean benign run of `host` at `scale`.
+/// IPC of a clean benign run of `host` at `scale`, optionally under a set
+/// of armed mitigations (the defense-cost measurement).
 double benign_ipc(const std::string& host, std::uint64_t scale,
                   const std::string& secret,
-                  const hid::ProfilerConfig& prof, std::uint64_t seed) {
+                  const hid::ProfilerConfig& prof, std::uint64_t seed,
+                  const mitigate::MitigationConfig& mitigations = {}) {
   Rng rng(seed);
   workloads::WorkloadOptions wopt;
   wopt.scale = scale + rng.next_below(std::max<std::uint64_t>(scale / 8, 1));
   wopt.secret = secret;
-  sim::Machine machine;
+  sim::MachineConfig mcfg;
   sim::KernelConfig kcfg;
   kcfg.seed = rng.next_u64();
+  mitigations.apply(mcfg, kcfg);
+  sim::Machine machine(mcfg);
   sim::Kernel kernel(machine, kcfg);
+  const mitigate::Armed armed = mitigate::arm(kernel, mitigations);
   kernel.register_binary("/bin/app", workloads::build_workload(host, wopt));
   const auto profile = hid::profile_run_strings(
       kernel, "/bin/app", {host, "benign-input"}, prof);
   CRS_ENSURE(profile.stop == sim::StopReason::kHalted, "benign run failed");
+  (void)armed;
   return profile.ipc();  // whole-run, from the noiseless CPU counters
 }
 
@@ -123,6 +129,23 @@ std::vector<OverheadRow> table_one(const OverheadConfig& config) {
         return measure_overhead(kRows[i].label, kRows[i].host, kRows[i].scale,
                                 config);
       });
+}
+
+double mitigation_overhead_pct(const std::string& host, std::uint64_t scale,
+                               const mitigate::MitigationConfig& mitigations,
+                               const OverheadConfig& config) {
+  CRS_ENSURE(config.repeats > 0, "repeats must be positive");
+  Rng rng(config.seed);
+  OnlineStats baseline, defended;
+  for (int r = 0; r < config.repeats; ++r) {
+    const std::uint64_t seed = rng.next_u64();
+    baseline.add(
+        benign_ipc(host, scale, config.secret, config.profiler, seed));
+    defended.add(benign_ipc(host, scale, config.secret, config.profiler,
+                            seed, mitigations));
+  }
+  const double base = baseline.mean();
+  return base <= 0.0 ? 0.0 : 100.0 * (base - defended.mean()) / base;
 }
 
 }  // namespace crs::core

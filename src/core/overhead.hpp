@@ -48,4 +48,12 @@ OverheadRow measure_overhead(const std::string& label, const std::string& host,
 /// (simulation-scaled; see EXPERIMENTS.md for the scale mapping).
 std::vector<OverheadRow> table_one(const OverheadConfig& config = {});
 
+/// IPC overhead (percent, positive = slower) that a mitigation set imposes
+/// on a clean, non-attacked host run — the defense matrix's cost column.
+/// Paired seeds: every repeat runs the same jittered host with and without
+/// the mitigations, so the contrast is the defense's alone.
+double mitigation_overhead_pct(const std::string& host, std::uint64_t scale,
+                               const mitigate::MitigationConfig& mitigations,
+                               const OverheadConfig& config = {});
+
 }  // namespace crs::core

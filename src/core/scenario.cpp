@@ -53,10 +53,13 @@ ScenarioRun run_scenario(const ScenarioConfig& config) {
   if (!config.rop_injected) {
     // Standalone ("traditional") Spectre: the attack binary runs directly.
     const auto acfg = make_attack_config(config, 0);
-    sim::Machine machine;
+    sim::MachineConfig mcfg;
     sim::KernelConfig kcfg;
     kcfg.seed = config.seed ^ 0xABCD;
+    config.mitigations.apply(mcfg, kcfg);
+    sim::Machine machine(mcfg);
     sim::Kernel kernel(machine, kcfg);
+    const mitigate::Armed armed = mitigate::arm(kernel, config.mitigations);
     kernel.register_binary(kAttackPath, attack::build_attack_binary(acfg));
     out.profile = hid::profile_run_strings(kernel, kAttackPath,
                                            {"cr_spectre"}, prof);
@@ -65,6 +68,7 @@ ScenarioRun run_scenario(const ScenarioConfig& config) {
     out.recovered = out.profile.output;
     out.secret_recovered = out.recovered == config.secret;
     out.host_ipc = 0.0;
+    out.mitigation = mitigate::summarize(machine, kernel, armed);
     return out;
   }
 
@@ -81,11 +85,14 @@ ScenarioRun run_scenario(const ScenarioConfig& config) {
   const rop::InjectionPlan plan =
       rop::plan_injection(host, rspec, kAttackPath);
 
-  sim::Machine machine;
+  sim::MachineConfig mcfg;
   sim::KernelConfig kcfg;
   kcfg.aslr = config.aslr;
   kcfg.seed = config.seed ^ 0x5A5A;
+  config.mitigations.apply(mcfg, kcfg);
+  sim::Machine machine(mcfg);
   sim::Kernel kernel(machine, kcfg);
+  const mitigate::Armed armed = mitigate::arm(kernel, config.mitigations);
   kernel.register_binary(kHostPath, host);
   kernel.register_binary(kAttackPath, attack_bin);
 
@@ -113,6 +120,7 @@ ScenarioRun run_scenario(const ScenarioConfig& config) {
                      ? 0.0
                      : static_cast<double>(host_instr) /
                            static_cast<double>(host_cycles);
+  out.mitigation = mitigate::summarize(machine, kernel, armed);
   return out;
 }
 

@@ -19,6 +19,7 @@
 
 #include "attack/spectre.hpp"
 #include "hid/profiler.hpp"
+#include "mitigate/config.hpp"
 #include "perturb/perturb.hpp"
 #include "workloads/workloads.hpp"
 
@@ -40,6 +41,10 @@ struct ScenarioConfig {
   bool canary = false;
   bool aslr = false;
 
+  /// Active speculative-execution defenses (all off by default — the
+  /// paper's undefended baseline).
+  mitigate::MitigationConfig mitigations;
+
   /// Jitters host input length, window phase and host scale so repeated
   /// attempts produce naturally varying traces (paper §III-B1).
   std::uint64_t seed = 1;
@@ -59,6 +64,10 @@ struct ScenarioRun {
 
   /// IPC over the host's own (non-injected) windows — the Table I metric.
   double host_ipc = 0.0;
+
+  /// What the armed mitigations did during this run (all zero when
+  /// config.mitigations is empty).
+  mitigate::MitigationSummary mitigation;
 };
 
 ScenarioRun run_scenario(const ScenarioConfig& config);

@@ -199,7 +199,8 @@ ExecResult run_under_config(const sim::Program& program,
                             const ExecConfig& config, const RunLimits& limits,
                             bool writable_text) {
   sim::Machine machine(config.machine);
-  sim::Kernel kernel(machine);
+  sim::Kernel kernel(machine, config.kernel);
+  if (config.prepare) config.prepare(kernel);
   kernel.register_binary("/bin/fuzz", program);
   kernel.start_with_strings("/bin/fuzz", {"fuzz"});
 
@@ -427,7 +428,8 @@ std::optional<Divergence> check_parallel_batch(std::uint64_t base_seed,
     programs.push_back(assemble_fuzz(prog.source()));
     smc.push_back(prog.uses_smc);
   }
-  const ExecConfig base{.name = "dcache-on", .machine = {}, .arch_only = false};
+  ExecConfig base;
+  base.name = "dcache-on";
 
   std::vector<ExecResult> serial;
   serial.reserve(programs.size());

@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -41,6 +42,10 @@ struct ExecConfig {
   /// Timing legitimately differs from the baseline: compare architectural
   /// state and timing-independent counters only.
   bool arch_only = false;
+  sim::KernelConfig kernel;
+  /// Runs after kernel construction, before start() — the mitigation
+  /// property tests use it to install load hooks (fence pass, partition).
+  std::function<void(sim::Kernel&)> prepare;
 };
 
 /// The standard config set. The first entry is the baseline (decode cache

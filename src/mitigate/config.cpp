@@ -1,0 +1,270 @@
+#include "mitigate/config.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "mitigate/fence_pass.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace crs::mitigate {
+
+namespace {
+
+struct FlagSpec {
+  const char* token;
+  bool MitigationConfig::* member;
+};
+
+constexpr FlagSpec kFlags[] = {
+    {"fence-bounds", &MitigationConfig::fence_bounds},
+    {"slh", &MitigationConfig::slh},
+    {"retpoline", &MitigationConfig::retpoline},
+    {"flush-predictors", &MitigationConfig::flush_predictors},
+    {"flush-l1", &MitigationConfig::flush_l1},
+    {"partition", &MitigationConfig::partition_cache},
+    {"ward", &MitigationConfig::ward_split},
+};
+
+struct PresetSpec {
+  const char* name;
+  MitigationConfig config;
+};
+
+const std::vector<PresetSpec>& presets() {
+  static const std::vector<PresetSpec> kPresets = [] {
+    std::vector<PresetSpec> p;
+    p.push_back({"none", {}});
+    {
+      MitigationConfig c;
+      c.fence_bounds = true;
+      p.push_back({"lfence-bounds", c});
+    }
+    {
+      MitigationConfig c;
+      c.slh = true;
+      p.push_back({"slh", c});
+    }
+    {
+      MitigationConfig c;
+      c.retpoline = true;
+      p.push_back({"retpoline", c});
+    }
+    {
+      MitigationConfig c;
+      c.flush_predictors = true;
+      c.flush_l1 = true;
+      p.push_back({"flush-on-switch", c});
+    }
+    {
+      MitigationConfig c;
+      c.partition_cache = true;
+      p.push_back({"partition", c});
+    }
+    {
+      // Ward's design: secrets unmapped while untrusted code runs, plus
+      // predictor hygiene on every kernel crossing.
+      MitigationConfig c;
+      c.ward_split = true;
+      c.flush_predictors = true;
+      p.push_back({"ward-split", c});
+    }
+    {
+      MitigationConfig c;
+      for (const auto& f : kFlags) c.*(f.member) = true;
+      p.push_back({"full", c});
+    }
+    return p;
+  }();
+  return kPresets;
+}
+
+std::string valid_tokens_message() {
+  std::string msg = "valid presets: ";
+  for (std::size_t i = 0; i < presets().size(); ++i) {
+    if (i != 0) msg += ", ";
+    msg += presets()[i].name;
+  }
+  msg += "; valid flags: ";
+  for (std::size_t i = 0; i < std::size(kFlags); ++i) {
+    if (i != 0) msg += ", ";
+    msg += kFlags[i].token;
+  }
+  return msg;
+}
+
+}  // namespace
+
+bool MitigationConfig::any() const {
+  for (const auto& f : kFlags) {
+    if (this->*(f.member)) return true;
+  }
+  return false;
+}
+
+std::string MitigationConfig::serialize() const {
+  for (const auto& p : presets()) {
+    if (p.config == *this) return p.name;
+  }
+  std::string out;
+  for (const auto& f : kFlags) {
+    if (!(this->*(f.member))) continue;
+    if (!out.empty()) out += ',';
+    out += f.token;
+  }
+  return out.empty() ? "none" : out;
+}
+
+MitigationConfig MitigationConfig::parse(const std::string& text) {
+  const std::string trimmed{trim(text)};
+  for (const auto& p : presets()) {
+    if (trimmed == p.name) return p.config;
+  }
+  MitigationConfig config;
+  for (const std::string& raw : split(trimmed, ',')) {
+    const std::string token{trim(raw)};
+    bool known = false;
+    for (const auto& f : kFlags) {
+      if (token == f.token) {
+        config.*(f.member) = true;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      throw Error("unknown mitigation '" + token + "' (" +
+                  valid_tokens_message() + ")");
+    }
+  }
+  return config;
+}
+
+void MitigationConfig::apply(sim::MachineConfig& machine,
+                             sim::KernelConfig& kernel) const {
+  if (fence_bounds) machine.cpu.honor_fence_hints = true;
+  if (slh) machine.cpu.slh = true;
+  if (retpoline) machine.cpu.no_indirect_speculation = true;
+  if (flush_predictors) kernel.flush_predictors_on_switch = true;
+  if (flush_l1) kernel.flush_l1_on_switch = true;
+  if (partition_cache) {
+    // Half the ways for the victim image, half for everything else.
+    machine.hierarchy.l1d.partition_ways = machine.hierarchy.l1d.ways / 2;
+    machine.hierarchy.l2.partition_ways = machine.hierarchy.l2.ways / 2;
+  }
+  if (ward_split) kernel.ward_split = true;
+}
+
+const std::vector<std::string>& preset_names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const auto& p : presets()) names.emplace_back(p.name);
+    return names;
+  }();
+  return kNames;
+}
+
+MitigationConfig preset(const std::string& name) {
+  for (const auto& p : presets()) {
+    if (name == p.name) return p.config;
+  }
+  throw Error("unknown mitigation preset '" + name + "' (" +
+              valid_tokens_message() + ")");
+}
+
+Armed arm(sim::Kernel& kernel, const MitigationConfig& config) {
+  Armed armed;
+  if (!config.fence_bounds && !config.partition_cache) return armed;
+  auto stats = armed.fence_stats;
+  const bool fence = config.fence_bounds;
+  const bool partition = config.partition_cache;
+  kernel.set_load_hook([stats, fence, partition](sim::Machine& machine,
+                                                 const sim::LoadInfo& info,
+                                                 bool first_image) {
+    if (fence) {
+      const FencePassStats s =
+          insert_bounds_fences(machine.memory(), info.lo, info.hi);
+      stats->pages_scanned += s.pages_scanned;
+      stats->branches_scanned += s.branches_scanned;
+      stats->fences_planted += s.fences_planted;
+    }
+    if (partition && first_image) {
+      // Victim domain = the first (host/main) image; everything mapped
+      // later — the injected attack, the stacks — shares the other ways.
+      machine.hierarchy().set_partition_boundary(info.hi);
+    }
+  });
+  return armed;
+}
+
+const std::vector<SummaryField>& summary_fields() {
+  static const std::vector<SummaryField> kFields = {
+      {"fence.pages_scanned", &MitigationSummary::fence_pages_scanned},
+      {"fence.planted", &MitigationSummary::fences_planted},
+      {"fence.stalls", &MitigationSummary::fence_stalls},
+      {"fence.squashes", &MitigationSummary::fence_squashes},
+      {"slh.hardened_loads", &MitigationSummary::slh_hardened_loads},
+      {"slh.masked_loads", &MitigationSummary::slh_masked_loads},
+      {"retpoline.suppressions", &MitigationSummary::retpoline_suppressions},
+      {"flush.predictor_flushes", &MitigationSummary::predictor_flushes},
+      {"flush.predictor_entries",
+       &MitigationSummary::predictor_entries_flushed},
+      {"flush.l1_flushes", &MitigationSummary::l1_flushes},
+      {"flush.l1_lines", &MitigationSummary::l1_lines_flushed},
+      {"partition.fills", &MitigationSummary::partition_fills},
+      {"partition.blocked_evictions",
+       &MitigationSummary::partition_blocked_evictions},
+      {"ward.lockouts", &MitigationSummary::ward_lockouts},
+      {"ward.pages_locked", &MitigationSummary::ward_pages_locked},
+  };
+  return kFields;
+}
+
+void accumulate(MitigationSummary& into, const MitigationSummary& from) {
+  for (const SummaryField& f : summary_fields()) {
+    into.*(f.member) += from.*(f.member);
+  }
+}
+
+std::uint64_t MitigationSummary::total_events() const {
+  std::uint64_t total = 0;
+  for (const SummaryField& f : summary_fields()) total += this->*(f.member);
+  return total;
+}
+
+void MitigationSummary::publish(const std::string& prefix) const {
+  if constexpr (!obs::kEnabled) return;
+  auto& reg = obs::MetricsRegistry::instance();
+  for (const SummaryField& f : summary_fields()) {
+    reg.counter(prefix + "." + f.name).add(this->*(f.member));
+  }
+}
+
+MitigationSummary summarize(const sim::Machine& machine,
+                            const sim::Kernel& kernel, const Armed& armed) {
+  MitigationSummary s;
+  s.fence_pages_scanned = armed.fence_stats->pages_scanned;
+  s.fences_planted = armed.fence_stats->fences_planted;
+  const sim::CpuMitigationStats& cpu = machine.cpu().mitigation_stats();
+  s.fence_stalls = cpu.fence_stalls;
+  s.fence_squashes = cpu.fence_squashes;
+  s.slh_hardened_loads = cpu.slh_hardened_loads;
+  s.slh_masked_loads = cpu.slh_masked_loads;
+  s.retpoline_suppressions = cpu.retpoline_suppressions;
+  const sim::KernelMitigationStats& k = kernel.mitigation_stats();
+  s.predictor_flushes = k.predictor_flushes;
+  s.predictor_entries_flushed = k.predictor_entries_flushed;
+  s.l1_flushes = k.l1_flushes;
+  s.l1_lines_flushed = k.l1_lines_flushed;
+  s.ward_lockouts = k.ward_lockouts;
+  s.ward_pages_locked = k.ward_pages_locked;
+  const auto add_level = [&](const sim::CacheLevelStats& stats) {
+    s.partition_fills += stats.partition_fills;
+    s.partition_blocked_evictions += stats.partition_blocked;
+  };
+  add_level(machine.hierarchy().l1d().stats());
+  add_level(machine.hierarchy().l2().stats());
+  return s;
+}
+
+}  // namespace crs::mitigate

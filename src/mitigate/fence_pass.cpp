@@ -1,0 +1,119 @@
+#include "mitigate/fence_pass.hpp"
+
+#include <algorithm>
+#include <array>
+#include <span>
+
+#include "isa/isa.hpp"
+
+namespace crs::mitigate {
+
+namespace {
+
+bool is_compare(isa::Opcode op) {
+  return op == isa::Opcode::kCmpLt || op == isa::Opcode::kCmpLtu ||
+         op == isa::Opcode::kCmpEq || op == isa::Opcode::kCmpNe;
+}
+
+/// Shared scan over one contiguous run of instruction slots. `read` yields
+/// the 8 bytes at slot index i; `plant` rewrites the rd byte of slot i.
+template <typename ReadFn, typename PlantFn>
+void scan_slots(std::uint64_t slot_count, FencePassStats& stats,
+                const ReadFn& read, const PlantFn& plant) {
+  // last_def[r] = most recent slot index whose instruction wrote r with a
+  // compare result; kNone when r is not (or no longer) a live compare flag.
+  constexpr std::uint64_t kNone = ~0ull;
+  std::array<std::uint64_t, isa::kNumRegisters> compare_def;
+  compare_def.fill(kNone);
+
+  for (std::uint64_t i = 0; i < slot_count; ++i) {
+    const auto decoded = isa::decode(read(i));
+    if (!decoded.has_value()) {
+      // Non-instruction bytes (data in an exec page): nothing carries over.
+      compare_def.fill(kNone);
+      continue;
+    }
+    const isa::Instruction& instr = *decoded;
+    const isa::OpClass cls = isa::op_class(instr.op);
+
+    if (cls == isa::OpClass::kCondBranch) {
+      ++stats.branches_scanned;
+      const std::uint64_t def = compare_def[instr.rs1];
+      if (def != kNone && i - def <= static_cast<std::uint64_t>(kCompareWindow)
+          && instr.rd != kFenceHintRd) {
+        plant(i);
+        ++stats.fences_planted;
+      }
+      continue;
+    }
+    // Control flow ends the linear window: a compare before a jump target
+    // cannot be assumed to feed a branch after it.
+    if (isa::is_control_flow(instr.op)) {
+      compare_def.fill(kNone);
+      continue;
+    }
+    if (isa::writes_rd(instr.op)) {
+      compare_def[instr.rd] = is_compare(instr.op) ? i : kNone;
+    }
+  }
+}
+
+}  // namespace
+
+FencePassStats insert_bounds_fences(sim::Memory& memory, std::uint64_t lo,
+                                    std::uint64_t hi) {
+  FencePassStats stats;
+  if (hi > memory.size()) hi = memory.size();
+  const std::uint64_t first_page = lo / sim::Memory::kPageSize;
+  const std::uint64_t last_page =
+      hi == 0 ? 0 : (hi - 1) / sim::Memory::kPageSize;
+
+  for (std::uint64_t page = first_page;
+       page <= last_page && page < memory.page_count(); ++page) {
+    const std::uint64_t page_lo = page * sim::Memory::kPageSize;
+    if ((memory.permissions_at(page_lo) & sim::kPermExec) == 0) continue;
+    ++stats.pages_scanned;
+    const std::uint64_t run_lo = std::max(lo, page_lo);
+    const std::uint64_t run_hi =
+        std::min(hi, page_lo + sim::Memory::kPageSize);
+    const std::uint64_t base =
+        (run_lo + isa::kInstructionSize - 1) & ~(isa::kInstructionSize - 1);
+    if (base + isa::kInstructionSize > run_hi) continue;
+    const std::uint64_t slots = (run_hi - base) / isa::kInstructionSize;
+    scan_slots(
+        slots, stats,
+        [&](std::uint64_t i) {
+          return memory.read_span(base + i * isa::kInstructionSize,
+                                  isa::kInstructionSize);
+        },
+        [&](std::uint64_t i) {
+          // Byte 1 of the encoding is rd; write_u8 bumps the page version,
+          // which invalidates any pre-decoded slots for this page.
+          memory.write_u8(base + i * isa::kInstructionSize + 1, kFenceHintRd);
+        });
+  }
+  return stats;
+}
+
+FencePassStats insert_bounds_fences(sim::Program& program) {
+  FencePassStats stats;
+  for (sim::Segment& seg : program.segments) {
+    if ((seg.perm & sim::kPermExec) == 0) continue;
+    stats.pages_scanned +=
+        (seg.bytes.size() + sim::Memory::kPageSize - 1) /
+        sim::Memory::kPageSize;
+    const std::uint64_t slots = seg.bytes.size() / isa::kInstructionSize;
+    scan_slots(
+        slots, stats,
+        [&](std::uint64_t i) {
+          return std::span<const std::uint8_t>(seg.bytes)
+              .subspan(i * isa::kInstructionSize, isa::kInstructionSize);
+        },
+        [&](std::uint64_t i) {
+          seg.bytes[i * isa::kInstructionSize + 1] = kFenceHintRd;
+        });
+  }
+  return stats;
+}
+
+}  // namespace crs::mitigate

@@ -1,0 +1,51 @@
+// Fence-insertion hardening pass.
+//
+// Models "LFENCE after every mispredictable bounds check" (Kiriansky &
+// Waldspurger; Intel's guidance for Spectre v1) without moving code: the
+// rd byte of a conditional branch is architecturally unused (beqz/bnez read
+// only rs1), so the pass rewrites it to a non-zero *fence hint* in place.
+// Absolute branch targets, gadget addresses and symbol layout are all
+// preserved — exactly what a binary-patching hardening tool needs.
+//
+// The CPU honors hints only when CpuConfig::honor_fence_hints is set, so an
+// un-hardened machine executes a hinted image bit-identically.
+//
+// Targeting: a branch gets a hint when its condition register was produced
+// by a compare (cmplt/cmpltu/cmpeq/cmpne) at most `kCompareWindow`
+// instructions earlier with no intervening redefinition — the
+// `cmpltu r5, idx, len ; beqz r5, ...` bounds-check shape the Spectre-PHT
+// gadget uses, and the loop-guard shape real compilers emit (fencing loop
+// guards is what makes the hardening's IPC overhead honest).
+//
+// Writes go through Memory::write_u8, which bumps the page version, so the
+// pre-decoded instruction cache refreshes itself before the next fetch from
+// a rewritten page (regression-tested in tests/test_mitigate.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/memory.hpp"
+#include "sim/program.hpp"
+
+#include "mitigate/config.hpp"
+
+namespace crs::mitigate {
+
+/// Compare-to-branch distance (in instructions) the pass considers a bounds
+/// check. Small on purpose: hint the `cmp ; branch` idiom, not every branch.
+inline constexpr int kCompareWindow = 4;
+
+/// Byte value planted in the branch's rd field as the fence hint.
+inline constexpr std::uint8_t kFenceHintRd = 1;
+
+/// Scans executable pages overlapping [lo, hi) in `memory` and plants fence
+/// hints on bounds-check branches. Returns what it did.
+FencePassStats insert_bounds_fences(sim::Memory& memory, std::uint64_t lo,
+                                    std::uint64_t hi);
+
+/// Pre-load variant: hardens the executable segments of an assembled
+/// program in place (the "assembler pass" form, used by tests and by
+/// callers that want a hardened image before it is ever mapped).
+FencePassStats insert_bounds_fences(sim::Program& program);
+
+}  // namespace crs::mitigate

@@ -36,6 +36,17 @@ std::uint8_t PatternHistoryTable::counter(std::uint64_t pc) const {
   return counters_[index(pc)];
 }
 
+std::uint64_t PatternHistoryTable::flush() {
+  std::uint64_t trained = 0;
+  for (std::uint8_t& c : counters_) {
+    if (c != 1) {
+      ++trained;
+      c = 1;  // back to weakly not-taken
+    }
+  }
+  return trained;
+}
+
 BranchTargetBuffer::BranchTargetBuffer(std::uint32_t entries) {
   CRS_ENSURE(is_pow2(entries), "BTB entries must be a power of two");
   entries_.resize(entries);
@@ -58,6 +69,17 @@ void BranchTargetBuffer::update(std::uint64_t pc, std::uint64_t target) {
   e.valid = true;
   e.pc = pc;
   e.target = target;
+}
+
+std::uint64_t BranchTargetBuffer::flush() {
+  std::uint64_t trained = 0;
+  for (Entry& e : entries_) {
+    if (e.valid) {
+      ++trained;
+      e = Entry{};
+    }
+  }
+  return trained;
 }
 
 ReturnStackBuffer::ReturnStackBuffer(std::uint32_t entries) {
@@ -95,6 +117,12 @@ BranchPredictor::BranchPredictor(const PredictorConfig& config)
     : pht_(config.pht_entries),
       btb_(config.btb_entries),
       rsb_(config.rsb_entries) {}
+
+std::uint64_t BranchPredictor::flush_all() {
+  const std::uint64_t rsb_depth = rsb_.depth();
+  rsb_.clear();
+  return pht_.flush() + btb_.flush() + rsb_depth;
+}
 
 void BranchPredictor::publish_metrics(const std::string& prefix) const {
   if constexpr (!obs::kEnabled) return;

@@ -36,6 +36,10 @@ class PatternHistoryTable {
   std::uint8_t counter(std::uint64_t pc) const;
   std::uint64_t updates() const { return updates_; }
 
+  /// Context-switch hygiene: resets every counter to the weakly-not-taken
+  /// init state. Returns the number of counters that held trained state.
+  std::uint64_t flush();
+
  private:
   std::uint64_t index(std::uint64_t pc) const;
   std::vector<std::uint8_t> counters_;  // init 1 = weakly not-taken
@@ -50,6 +54,9 @@ class BranchTargetBuffer {
   std::optional<std::uint64_t> predict(std::uint64_t pc) const;
   void update(std::uint64_t pc, std::uint64_t target);
   std::uint64_t updates() const { return updates_; }
+
+  /// Invalidates every entry; returns how many were valid.
+  std::uint64_t flush();
 
  private:
   std::uint64_t updates_ = 0;
@@ -101,6 +108,11 @@ class BranchPredictor {
   const PatternHistoryTable& pht() const { return pht_; }
   const BranchTargetBuffer& btb() const { return btb_; }
   const ReturnStackBuffer& rsb() const { return rsb_; }
+
+  /// Flushes PHT + BTB and clears the RSB (kernel-entry hygiene, as the
+  /// Ward kernel does on every crossing). Returns the total number of
+  /// trained entries dropped across the three structures.
+  std::uint64_t flush_all();
 
   /// Adds the structures' update/traffic counters into the MetricsRegistry
   /// under `<prefix>.pht.*` / `.btb.*` / `.rsb.*` (no-op when disabled).

@@ -37,7 +37,24 @@ bool CacheLevel::access_search(std::uint64_t addr) {
   const std::uint64_t set = line & (num_sets_ - 1);
   Way* base = &ways_[set * config_.ways];
   ++use_counter_;
-  Way* victim = base;
+
+  // Victim selection over [lo, hi): prefer an invalid way, else LRU.
+  const auto select_victim = [&](std::uint32_t lo, std::uint32_t hi) {
+    Way* victim = &base[lo];
+    for (std::uint32_t w = lo; w < hi; ++w) {
+      Way& way = base[w];
+      if (!way.valid) {
+        victim = &way;  // prefer an invalid way
+      } else if (victim->valid && way.lru < victim->lru) {
+        victim = &way;
+      }
+    }
+    return victim;
+  };
+
+  // Hit search across the whole set: partitioning only constrains where
+  // fills land, it never hides a resident line (lines filled before the
+  // boundary was armed stay usable wherever they are).
   for (std::uint32_t w = 0; w < config_.ways; ++w) {
     Way& way = base[w];
     if (way.valid && way.tag == tag) {
@@ -47,10 +64,26 @@ bool CacheLevel::access_search(std::uint64_t addr) {
       if constexpr (obs::kEnabled) ++stats_.hits;
       return true;
     }
-    if (!way.valid) {
-      victim = &way;  // prefer an invalid way
-    } else if (victim->valid && way.lru < victim->lru) {
-      victim = &way;
+  }
+
+  std::uint32_t victim_lo = 0;
+  std::uint32_t victim_hi = config_.ways;
+  if (partition_armed_) {
+    if (addr < partition_boundary_) {
+      victim_hi = config_.partition_ways;
+    } else {
+      victim_lo = config_.partition_ways;
+    }
+  }
+  Way* victim = select_victim(victim_lo, victim_hi);
+  if (partition_armed_) {
+    ++stats_.partition_fills;
+    const Way* unrestricted = select_victim(0, config_.ways);
+    if (unrestricted < base + victim_lo || unrestricted >= base + victim_hi) {
+      // The set-wide replacement policy would have displaced a line in the
+      // other domain's ways — the cross-domain eviction the partition
+      // exists to prevent.
+      ++stats_.partition_blocked;
     }
   }
   if constexpr (obs::kEnabled) {
@@ -151,6 +184,13 @@ void MemoryHierarchy::flush_data(std::uint64_t addr) {
   l2_.flush_line(addr);
 }
 
+std::size_t MemoryHierarchy::flush_l1() {
+  const std::size_t dropped = l1d_.occupancy() + l1i_.occupancy();
+  l1d_.clear();
+  l1i_.clear();
+  return dropped;
+}
+
 void MemoryHierarchy::clear() {
   l1d_.clear();
   l1i_.clear();
@@ -165,6 +205,8 @@ void MemoryHierarchy::publish_metrics(const std::string& prefix) const {
     reg.counter(base + ".hits").add(s.hits);
     reg.counter(base + ".misses").add(s.misses);
     reg.counter(base + ".evictions").add(s.evictions);
+    reg.counter(base + ".partition_fills").add(s.partition_fills);
+    reg.counter(base + ".partition_blocked").add(s.partition_blocked);
   };
   publish("l1d", l1d_.stats());
   publish("l1i", l1i_.stats());

@@ -20,6 +20,13 @@ struct CacheConfig {
   std::uint32_t size_bytes = 32 * 1024;
   std::uint32_t line_size = 64;
   std::uint32_t ways = 8;
+  /// Way partitioning (mitigation): ways reserved for the victim domain
+  /// (addresses below the runtime partition boundary). 0 disables. The
+  /// remaining `ways - partition_ways` serve the other domain, so neither
+  /// side can evict the other's lines. Fills are restricted per domain;
+  /// hits are found wherever the line lives (lines resident before the
+  /// boundary was set stay usable).
+  std::uint32_t partition_ways = 0;
 };
 
 /// Per-level access statistics. Plain (non-atomic) counters: a CacheLevel
@@ -30,6 +37,14 @@ struct CacheLevelStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;  ///< misses that displaced a valid line
+  // Partition counters are maintained unconditionally (not obs-gated):
+  // they only tick when way partitioning is armed, which is off the
+  // default hot path, and the defense matrix reads them as ground truth
+  // regardless of the observability build flavour.
+  std::uint64_t partition_fills = 0;  ///< fills under an active partition
+  /// Fills where the set-wide LRU victim lived in the other domain's ways
+  /// — the cross-domain evictions the partition prevented.
+  std::uint64_t partition_blocked = 0;
 };
 
 /// One level of set-associative cache with LRU replacement.
@@ -78,6 +93,16 @@ class CacheLevel {
   /// Valid lines currently resident (for occupancy bounds).
   std::size_t occupancy() const;
 
+  /// Arms way partitioning (requires config.partition_ways != 0 to have an
+  /// effect): addresses below `boundary` fill into ways
+  /// [0, partition_ways), everything else into [partition_ways, ways).
+  void set_partition_boundary(std::uint64_t boundary) {
+    partition_boundary_ = boundary;
+    partition_armed_ = config_.partition_ways != 0 &&
+                       config_.partition_ways < config_.ways;
+  }
+  bool partition_armed() const { return partition_armed_; }
+
   /// Cumulative access statistics (all zero when CRS_OBS_ENABLED is 0).
   const CacheLevelStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -107,6 +132,9 @@ class CacheLevel {
   // constructor, so the pointer stays valid for the object's lifetime).
   std::uint64_t mru_line_ = ~0ull;
   Way* mru_way_ = nullptr;
+  // Way partitioning (off until set_partition_boundary arms it).
+  bool partition_armed_ = false;
+  std::uint64_t partition_boundary_ = 0;
   CacheLevelStats stats_;
 };
 
@@ -165,6 +193,20 @@ class MemoryHierarchy {
 
   /// clflush semantics: evict the data line everywhere.
   void flush_data(std::uint64_t addr);
+
+  /// Kernel-entry hygiene (mitigation): invalidates both L1 caches, leaving
+  /// the L2 warm, as an L1-flush-on-context-switch kernel would. Returns
+  /// the number of valid lines dropped.
+  std::size_t flush_l1();
+
+  /// Arms way partitioning on the data-side levels (L1D + L2) whose config
+  /// reserves partition_ways. Addresses below `boundary` are the victim
+  /// domain. The L1I is left unpartitioned: the covert channels here are
+  /// data-side.
+  void set_partition_boundary(std::uint64_t boundary) {
+    l1d_.set_partition_boundary(boundary);
+    l2_.set_partition_boundary(boundary);
+  }
 
   void clear();
 

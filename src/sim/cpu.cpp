@@ -161,7 +161,13 @@ void Cpu::exec_load(const Instruction& instr) {
   // Misses additionally cost front-end throughput (finite MSHRs/MLP), so
   // miss-heavy code gets a realistically low IPC without serialising the
   // branch-resolution path that Spectre's window depends on.
-  set_ready(instr.rd, issue + outcome.latency);
+  std::uint32_t latency = outcome.latency;
+  if (config_.slh) {
+    // SLH routes every load result through the poison-mask data path.
+    latency += 1;
+    ++mstats_.slh_hardened_loads;
+  }
+  set_ready(instr.rd, issue + latency);
   std::uint32_t throughput = 1;
   if (!outcome.l1_hit) throughput += outcome.l2_hit ? 2 : 6;
   cycle_ += throughput;
@@ -190,7 +196,8 @@ void Cpu::exec_store(const Instruction& instr) {
   pc_ += isa::kInstructionSize;
 }
 
-void Cpu::exec_cond_branch(const Instruction& instr) {
+void Cpu::exec_cond_branch(const DecodedSlot& slot) {
+  const Instruction& instr = slot.instr;
   const bool actual_taken = instr.op == Opcode::kBeqz
                                 ? regs_[instr.rs1] == 0
                                 : regs_[instr.rs1] != 0;
@@ -203,17 +210,28 @@ void Cpu::exec_cond_branch(const Instruction& instr) {
   if (actual_taken) pmu_.add(Event::kTakenBranches);
 
   const std::uint64_t resolve_at = std::max(cycle_, ready_at(instr.rs1));
+  // A fence hint (planted by the mitigation pass) makes this branch behave
+  // as if an lfence followed the bounds check: the front end waits for the
+  // condition instead of running a wrong-path episode.
+  const bool fenced = config_.honor_fence_hints && slot.fence_after;
+  if (fenced) ++mstats_.fence_stalls;
   if (predicted_taken != actual_taken) {
     pmu_.add(Event::kBranchMispredicts);
-    const std::uint64_t delay = resolve_at - cycle_;
-    const std::uint64_t budget =
-        std::min<std::uint64_t>(delay, config_.max_spec_window);
-    if (budget > 0) {
-      run_wrong_path(predicted_taken ? taken_target : fallthrough, budget);
+    if (fenced) {
+      // The misprediction is detected at resolution with nothing to squash
+      // — the speculation window the fence closed.
+      ++mstats_.fence_squashes;
+    } else {
+      const std::uint64_t delay = resolve_at - cycle_;
+      const std::uint64_t budget =
+          std::min<std::uint64_t>(delay, config_.max_spec_window);
+      if (budget > 0) {
+        run_wrong_path(predicted_taken ? taken_target : fallthrough, budget);
+      }
     }
     cycle_ = resolve_at + config_.mispredict_penalty;
   } else {
-    cycle_ += 1;
+    cycle_ = fenced ? resolve_at + config_.fence_cost : cycle_ + 1;
   }
   predictor_.pht().update(pc_, actual_taken);
   pc_ = actual_taken ? taken_target : fallthrough;
@@ -225,6 +243,15 @@ void Cpu::exec_indirect_jump(const Instruction& instr) {
   const auto predicted = predictor_.btb().predict(pc_);
 
   pmu_.add(Event::kIndirectJumps);
+  if (config_.no_indirect_speculation) {
+    // Retpoline: the front end never consumes a BTB prediction; it waits
+    // for the real target. No BTB update either — the thunk leaves nothing
+    // for an attacker to poison.
+    ++mstats_.retpoline_suppressions;
+    cycle_ = resolve_at + 2;
+    pc_ = actual;
+    return;
+  }
   if (predicted.has_value() && *predicted != actual) {
     pmu_.add(Event::kBranchMispredicts);
     const std::uint64_t budget =
@@ -263,6 +290,12 @@ void Cpu::exec_call(const Instruction& instr) {
     pmu_.add(Event::kIndirectJumps);
     const auto predicted = predictor_.btb().predict(pc_);
     const std::uint64_t resolve_at = std::max(cycle_, ready_at(instr.rs1));
+    if (config_.no_indirect_speculation) {
+      ++mstats_.retpoline_suppressions;
+      cycle_ = resolve_at + 2;
+      pc_ = target;
+      return;
+    }
     if (predicted.has_value() && *predicted != target) {
       pmu_.add(Event::kBranchMispredicts);
       const std::uint64_t budget = std::min<std::uint64_t>(
@@ -297,7 +330,15 @@ void Cpu::exec_ret(const Instruction&) {
   set_sp(ret_sp + 8);
 
   const std::uint64_t resolve_at = cycle_ + outcome.latency;
+  // The RSB pop happens regardless of the mitigation so the hardware call
+  // stack stays balanced; retpoline merely refuses to *speculate* on it.
   const auto predicted = predictor_.rsb().pop();
+  if (config_.no_indirect_speculation) {
+    ++mstats_.retpoline_suppressions;
+    cycle_ = resolve_at + 2;
+    pc_ = actual;
+    return;
+  }
   if (predicted.has_value() && *predicted != actual) {
     // The return address on the stack disagrees with the call stack the
     // hardware observed — the signature of a ROP overwrite. The CPU
@@ -449,7 +490,7 @@ void Cpu::step() {
       exec_store(instr);
       break;
     case OpClass::kCondBranch:
-      exec_cond_branch(instr);
+      exec_cond_branch(slot);
       break;
     case OpClass::kJump:
       cycle_ += 1;
@@ -606,10 +647,18 @@ void Cpu::run_wrong_path(std::uint64_t spec_pc, std::uint64_t budget) {
         const AccessOutcome outcome = hierarchy_.access_data(ea);
         attribute_data_access(outcome);
         pmu_.add(Event::kSpecLoads);
-        spec_regs[instr.rd] =
-            instr.op == Opcode::kLoad
-                ? view.read_u64(ea)
-                : static_cast<std::uint64_t>(view.read_u8(ea));
+        if (config_.slh) {
+          // SLH: the *first* wrong-path load still fills its line (as in
+          // LLVM SLH), but the value it forwards is poisoned to zero, so a
+          // dependent secret-indexed access cannot encode the secret.
+          spec_regs[instr.rd] = 0;
+          ++mstats_.slh_masked_loads;
+        } else {
+          spec_regs[instr.rd] =
+              instr.op == Opcode::kLoad
+                  ? view.read_u64(ea)
+                  : static_cast<std::uint64_t>(view.read_u8(ea));
+        }
         pc += isa::kInstructionSize;
         break;
       }
@@ -632,6 +681,11 @@ void Cpu::run_wrong_path(std::uint64_t spec_pc, std::uint64_t budget) {
         break;
       }
       case OpClass::kCondBranch: {
+        if (config_.honor_fence_hints && slot.fence_after) {
+          // A fence-hinted branch serialises even on the wrong path.
+          executed = budget;
+          break;
+        }
         // Nested speculation: follow the predictor without updating it.
         const bool taken = predictor_.pht().predict_taken(pc);
         pc = taken ? static_cast<std::uint32_t>(instr.imm)

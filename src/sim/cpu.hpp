@@ -59,6 +59,33 @@ struct CpuConfig {
   /// never change architectural or PMU-visible behaviour (page-version
   /// invalidation preserves self-modifying-code and DEP semantics).
   bool decode_cache = true;
+
+  // --- speculative-execution mitigations (src/mitigate) ------------------
+  /// Honor fence hints planted on conditional branches by the
+  /// fence-insertion pass: a hinted branch never speculates (no wrong-path
+  /// episode) and serialises the front end on its condition, costing
+  /// `fence_cost` like an explicit lfence after the bounds check.
+  bool honor_fence_hints = false;
+  /// Speculative load hardening: wrong-path load *values* are masked to
+  /// zero (the fill of the accessed line still happens — as in LLVM SLH,
+  /// it is the dependent access that gets poisoned), and architectural
+  /// loads pay one extra cycle for the masking data-path.
+  bool slh = false;
+  /// Retpoline-style: indirect jumps/calls and returns never speculate on
+  /// a predicted target; the front end waits for the real one.
+  bool no_indirect_speculation = false;
+};
+
+/// What the armed CPU-side mitigations did. Plain unconditional counters
+/// (NOT obs-gated): every increment sits behind a mitigation flag that is
+/// off by default, so the undefended hot path is untouched, and the defense
+/// matrix can read ground truth in any build flavour.
+struct CpuMitigationStats {
+  std::uint64_t fence_stalls = 0;     ///< hinted branches serialised
+  std::uint64_t fence_squashes = 0;   ///< mispredictions denied a window
+  std::uint64_t slh_hardened_loads = 0;  ///< architectural loads masked-path
+  std::uint64_t slh_masked_loads = 0;    ///< wrong-path values zeroed
+  std::uint64_t retpoline_suppressions = 0;  ///< indirect predictions skipped
 };
 
 enum class FaultKind {
@@ -126,6 +153,9 @@ class Cpu {
   /// non-zero speculation budget). Always zero when CRS_OBS_ENABLED is 0.
   std::uint64_t spec_episodes() const { return spec_episodes_; }
 
+  /// Activity of the armed CPU-side mitigations (all zero by default).
+  const CpuMitigationStats& mitigation_stats() const { return mstats_; }
+
   void set_syscall_handler(SyscallHandler handler) {
     syscall_handler_ = std::move(handler);
   }
@@ -144,7 +174,7 @@ class Cpu {
   __attribute__((always_inline)) void exec_alu(const DecodedSlot& slot);
   void exec_load(const isa::Instruction& instr);
   void exec_store(const isa::Instruction& instr);
-  void exec_cond_branch(const isa::Instruction& instr);
+  void exec_cond_branch(const DecodedSlot& slot);
   void exec_indirect_jump(const isa::Instruction& instr);
   void exec_call(const isa::Instruction& instr);
   void exec_ret(const isa::Instruction& instr);
@@ -186,6 +216,7 @@ class Cpu {
   std::uint64_t cycle_ = 0;
   std::uint64_t retired_ = 0;
   std::uint64_t spec_episodes_ = 0;
+  CpuMitigationStats mstats_;
   bool halted_ = true;
   Fault fault_;
   SyscallHandler syscall_handler_;

@@ -10,6 +10,8 @@ DecodedSlot decode_slot(const Memory& memory, std::uint64_t pc) {
     slot.cls = isa::op_class(decoded->op);
     slot.reads_rs1 = isa::reads_rs1(decoded->op);
     slot.reads_rs2 = isa::reads_rs2(decoded->op);
+    slot.fence_after =
+        slot.cls == isa::OpClass::kCondBranch && decoded->rd != 0;
     slot.state = DecodedSlot::kValid;
   } else {
     slot.state = DecodedSlot::kIllegal;

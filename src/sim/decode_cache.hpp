@@ -34,6 +34,12 @@ struct DecodedSlot {
   isa::OpClass cls = isa::OpClass::kNop;
   bool reads_rs1 = false;
   bool reads_rs2 = false;
+  /// Conditional branch carrying a speculation-barrier hint (non-zero rd
+  /// planted by the mitigation fence pass). Decoded here so the CPU's
+  /// dispatch sees it for free; honored only under
+  /// CpuConfig::honor_fence_hints. Page-version coherence guarantees a
+  /// fence pass rewriting a page is visible on the next fetch.
+  bool fence_after = false;
   State state = kEmpty;
 };
 

@@ -109,6 +109,9 @@ LoadInfo Kernel::map_image(const std::string& path, const Program& program) {
 
   loaded_[path] = info;
   load_order_.push_back(info);
+  if (load_hook_) {
+    load_hook_(machine_, info, load_order_.size() == 1);
+  }
   return info;
 }
 
@@ -124,6 +127,7 @@ void Kernel::start(const std::string& path,
   loaded_.clear();
   load_order_.clear();
   injected_stack_tops_.clear();
+  ward_locks_.clear();
   next_stack_top_ = machine_.memory().size();
 
   // Carve the main stack from the top of memory (RW, not executable: DEP).
@@ -197,7 +201,50 @@ std::uint64_t Kernel::resolved_symbol(const std::string& path,
   return pi->second.symbol(label) + li->second.base_delta;
 }
 
+void Kernel::switch_hygiene(Cpu& cpu) {
+  // Kernel-entry scrubbing (mitigation): every trap is a protection-domain
+  // boundary, so predictor state and (optionally) L1 contents trained on
+  // one side are dropped before the other runs again.
+  if (config_.flush_predictors_on_switch) {
+    ++kstats_.predictor_flushes;
+    kstats_.predictor_entries_flushed += cpu.predictor().flush_all();
+  }
+  if (config_.flush_l1_on_switch) {
+    ++kstats_.l1_flushes;
+    kstats_.l1_lines_flushed += machine_.hierarchy().flush_l1();
+  }
+}
+
+void Kernel::ward_lock_host() {
+  // Hide the host's non-executable pages (its data, including the secret)
+  // while the injected image runs. Code pages stay mapped — the injected
+  // chain legitimately returns through host gadgets.
+  const LoadInfo& host = load_order_.front();
+  const auto prog = registry_.find(host.path);
+  CRS_ENSURE(prog != registry_.end(), "ward: host program not registered");
+  Memory& mem = machine_.memory();
+  ++kstats_.ward_lockouts;
+  for (const Segment& seg : prog->second.segments) {
+    if ((seg.perm & kPermExec) != 0 || seg.bytes.empty()) continue;
+    const std::uint64_t lo = seg.addr + host.base_delta;
+    ward_locks_.push_back(WardLock{lo, seg.bytes.size(), seg.perm});
+    mem.set_permissions(lo, seg.bytes.size(), kPermNone);
+    kstats_.ward_pages_locked +=
+        (lo % Memory::kPageSize + seg.bytes.size() + Memory::kPageSize - 1) /
+        Memory::kPageSize;
+  }
+}
+
+void Kernel::ward_unlock_host() {
+  Memory& mem = machine_.memory();
+  for (const WardLock& lock : ward_locks_) {
+    mem.set_permissions(lock.addr, lock.len, lock.perm);
+  }
+  ward_locks_.clear();
+}
+
 SyscallOutcome Kernel::handle_syscall(Cpu& cpu) {
+  switch_hygiene(cpu);
   const std::uint64_t number = cpu.reg(0);
   switch (number) {
     case kSysExit: {
@@ -208,6 +255,9 @@ SyscallOutcome Kernel::handle_syscall(Cpu& cpu) {
         saved_contexts_.pop_back();
         for (int r = 0; r < isa::kNumRegisters; ++r) cpu.set_reg(r, ctx.regs[r]);
         cpu.set_pc(ctx.pc);
+        if (saved_contexts_.empty() && !ward_locks_.empty()) {
+          ward_unlock_host();  // host is back in control: remap its data
+        }
         return SyscallOutcome::kContinue;
       }
       exit_code_ = static_cast<std::int64_t>(cpu.reg(1));
@@ -315,12 +365,18 @@ SyscallOutcome Kernel::do_execve(Cpu& cpu) {
       }
       mem.write_bytes(seg.addr + info.base_delta, bytes);
     }
+    // The rewrite restored pristine segment bytes, clobbering any in-place
+    // edits (fence hints) the load hook made — re-fire it.
+    if (load_hook_) load_hook_(machine_, info, false);
   }
 
   SavedContext ctx;
   for (int r = 0; r < isa::kNumRegisters; ++r) ctx.regs[r] = cpu.reg(r);
   ctx.pc = cpu.pc();  // already past the syscall: the gadget's ret
   saved_contexts_.push_back(ctx);
+  if (config_.ward_split && saved_contexts_.size() == 1) {
+    ward_lock_host();
+  }
   ++execve_count_;
   // Depth as the value: nested spawns render as stacked markers.
   obs::trace_instant("kernel.execve", cpu.cycle(),

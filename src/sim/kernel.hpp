@@ -90,6 +90,19 @@ struct KernelConfig {
   std::uint64_t seed = 0xC0FFEE;
   /// Maximum nested execve depth (the CR-Spectre chain needs 1).
   int max_execve_depth = 2;
+
+  // --- context-switch hygiene mitigations (src/mitigate) -----------------
+  /// Flush PHT/BTB/RSB on every kernel entry (syscall/execve), so predictor
+  /// state trained by one protection domain cannot steer another.
+  bool flush_predictors_on_switch = false;
+  /// Invalidate both L1 caches on kernel entry (Ward-style L1 flush); the
+  /// L2 stays warm, as on hardware that only scrubs the closest level.
+  bool flush_l1_on_switch = false;
+  /// Ward split: while an execve'd (injected) image runs, the host's
+  /// non-executable pages (its data, including the secret) are unmapped.
+  /// Architectural accesses fault; transient ones squash without a fill —
+  /// the cross-image leak CR-Spectre needs is cut at the page table.
+  bool ward_split = false;
 };
 
 /// Result of mapping one binary.
@@ -101,13 +114,36 @@ struct LoadInfo {
   std::uint64_t hi = 0;          ///< highest mapped address (exclusive)
 };
 
+/// What the kernel-side mitigations did. Like CpuMitigationStats these are
+/// plain unconditional counters behind off-by-default flags, so the defense
+/// matrix reads ground truth in any observability build flavour.
+struct KernelMitigationStats {
+  std::uint64_t predictor_flushes = 0;  ///< kernel entries that scrubbed
+  std::uint64_t predictor_entries_flushed = 0;  ///< trained entries dropped
+  std::uint64_t l1_flushes = 0;
+  std::uint64_t l1_lines_flushed = 0;
+  std::uint64_t ward_lockouts = 0;     ///< execves that unmapped host data
+  std::uint64_t ward_pages_locked = 0;
+};
+
 class Kernel {
  public:
+  /// Observes every image (re)load. Runs after the bytes and permissions
+  /// are in place — where the mitigation layer plants fence hints and arms
+  /// cache partitioning. `first_image` is true only for the binary mapped
+  /// by start(); re-execve image rewrites re-fire the hook with false so
+  /// in-place code edits survive the rewrite.
+  using LoadHook = std::function<void(Machine&, const LoadInfo&, bool)>;
+
   Kernel(Machine& machine, const KernelConfig& config = {});
 
   /// Registers a binary under a filesystem-like path for execve lookup.
   void register_binary(const std::string& path, Program program);
   bool has_binary(const std::string& path) const;
+
+  /// Installs the load hook (replacing any previous one). Images already
+  /// mapped are not revisited; install before start().
+  void set_load_hook(LoadHook hook) { load_hook_ = std::move(hook); }
 
   /// Loads `path`, marshals argv, installs the syscall handler and resets
   /// the CPU at the program entry. Args are raw byte strings; their
@@ -148,15 +184,29 @@ class Kernel {
   Machine& machine() { return machine_; }
   const KernelConfig& config() const { return config_; }
 
+  /// Activity of the armed kernel-side mitigations (all zero by default).
+  const KernelMitigationStats& mitigation_stats() const { return kstats_; }
+
  private:
   struct SavedContext {
     std::uint64_t regs[isa::kNumRegisters];
     std::uint64_t pc;
   };
 
+  /// One page range hidden by the Ward split, with the permission to
+  /// restore when the injected image exits.
+  struct WardLock {
+    std::uint64_t addr;
+    std::uint64_t len;
+    Perm perm;
+  };
+
   LoadInfo map_image(const std::string& path, const Program& program);
   SyscallOutcome handle_syscall(Cpu& cpu);
   SyscallOutcome do_execve(Cpu& cpu);
+  void switch_hygiene(Cpu& cpu);
+  void ward_lock_host();
+  void ward_unlock_host();
 
   Machine& machine_;
   KernelConfig config_;
@@ -172,6 +222,10 @@ class Kernel {
   std::vector<std::uint8_t> output_;
   std::int64_t exit_code_ = 0;
   int execve_count_ = 0;
+
+  LoadHook load_hook_;
+  KernelMitigationStats kstats_;
+  std::vector<WardLock> ward_locks_;
 };
 
 }  // namespace crs::sim

@@ -413,8 +413,10 @@ TEST_P(Seeded, GeneratedProgramsDecodeCacheInvariant) {
   const auto program = fuzz::generate_program(rng, opt);
   const auto binary =
       test::assemble_with_runtime(program.source(), "fuzzprog");
-  fuzz::ExecConfig on{"dcache-on", {}, false};
-  fuzz::ExecConfig off{"dcache-off", {}, false};
+  fuzz::ExecConfig on;
+  on.name = "dcache-on";
+  fuzz::ExecConfig off;
+  off.name = "dcache-off";
   off.machine.cpu.decode_cache = false;
   const auto a = fuzz::run_under_config(binary, on, {}, program.uses_smc);
   const auto b = fuzz::run_under_config(binary, off, {}, program.uses_smc);

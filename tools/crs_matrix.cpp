@@ -1,0 +1,187 @@
+// crs_matrix — the attack-vs-defense evaluation matrix.
+//
+//   crs_matrix                        full sweep, table to stdout
+//   crs_matrix --quick                CI-sized sweep (fewer attempts)
+//   crs_matrix --presets a,b,c        only these mitigation presets
+//   crs_matrix --attempts N           attempts per (attack, preset) cell
+//   crs_matrix --seed S               base seed (cells derive from it)
+//   crs_matrix --csv <path>           write the matrix as CSV
+//   crs_matrix --json <path>          write the matrix as JSON
+//   crs_matrix --metrics <path>       write per-preset mitigation counters
+//   crs_matrix --check                exit non-zero unless the expected
+//                                     story holds: `none` leaks, `full`
+//                                     blocks every attack, and every armed
+//                                     preset shows mitigation activity
+//   crs_matrix --threads N            worker-pool width (results identical
+//                                     for any value)
+//   crs_matrix --bench-json <path>    append a perf record for the sweep
+//
+// Sweeps {spectre-pht, spectre-rsb, cr-spectre} × {mitigation presets} and
+// reports leak-success rate, HID detection over attack windows, mitigation
+// engagement, and per-preset clean-host IPC overhead.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/defense_matrix.hpp"
+#include "core/report.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/strings.hpp"
+
+using namespace crs;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--check] [--presets a,b,c] "
+               "[--attempts N] [--seed S] [--csv <path>] [--json <path>] "
+               "[--metrics <path>] [--threads N] [--bench-json <path>]\n",
+               argv0);
+  return 2;
+}
+
+/// The CI gate: the undefended column must reproduce the paper's leak, the
+/// full stack must stop everything, and every armed preset must actually
+/// have done something.
+int check_story(const core::DefenseMatrixResult& result) {
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "[crs_matrix] CHECK FAILED: %s\n", what.c_str());
+    ++failures;
+  };
+  for (const auto& attack : result.attacks) {
+    const auto& undefended = result.cell(attack, "none");
+    if (undefended.leaks == 0) {
+      fail(attack + " under 'none' never recovered the secret");
+    }
+    const auto& full = result.cell(attack, "full");
+    if (full.leaks != 0) {
+      fail(attack + " under 'full' still leaked (" +
+           std::to_string(full.leaks) + "/" +
+           std::to_string(full.attempts) + ")");
+    }
+  }
+  for (const auto& preset : result.presets) {
+    const std::uint64_t events = result.preset_summary(preset).total_events();
+    if (preset == "none") {
+      if (events != 0) {
+        fail("'none' reported mitigation activity (" +
+             std::to_string(events) + " events)");
+      }
+    } else if (events == 0) {
+      fail("preset '" + preset + "' reported zero mitigation activity");
+    }
+  }
+  if (failures == 0) {
+    std::fprintf(stderr, "[crs_matrix] check passed: none leaks, full "
+                         "blocks, every armed preset engaged\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+void print_table(const core::DefenseMatrixResult& result) {
+  std::printf("%-14s", "attack\\preset");
+  for (const auto& p : result.presets) std::printf(" %14s", p.c_str());
+  std::printf("\n");
+  for (const auto& attack : result.attacks) {
+    std::printf("%-14s", attack.c_str());
+    for (const auto& preset : result.presets) {
+      const auto& c = result.cell(attack, preset);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f/%.2f", c.leak_rate,
+                    c.hid_detection);
+      std::printf(" %14s", buf);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-14s", "ipc-ovh-%");
+  for (std::size_t i = 0; i < result.presets.size(); ++i) {
+    std::printf(" %14.2f", result.ipc_overhead_pct[i]);
+  }
+  std::printf("\n(cells: leak-rate / HID-detection)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    core::DefenseMatrixConfig config;
+    bool check = false;
+    std::string csv_path, json_path, metrics_path, bench_json_path;
+
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto next = [&]() -> const char* {
+        if (i + 1 >= argc) {
+          throw Error("flag '" + flag + "' needs a value");
+        }
+        return argv[++i];
+      };
+      if (flag == "--quick") {
+        config.quick = true;
+      } else if (flag == "--check") {
+        check = true;
+      } else if (flag == "--presets") {
+        config.presets = split(next(), ',');
+      } else if (flag == "--attempts") {
+        config.attempts = std::atoi(next());
+      } else if (flag == "--seed") {
+        config.seed = std::strtoull(next(), nullptr, 10);
+      } else if (flag == "--csv") {
+        csv_path = next();
+      } else if (flag == "--json") {
+        json_path = next();
+      } else if (flag == "--metrics") {
+        metrics_path = next();
+      } else if (flag == "--bench-json") {
+        bench_json_path = next();
+      } else if (flag == "--threads") {
+        set_thread_override(
+            static_cast<unsigned>(std::strtoul(next(), nullptr, 10)));
+      } else {
+        std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+        return usage(argv[0]);
+      }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::DefenseMatrixResult result = core::run_defense_matrix(config);
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+    print_table(result);
+    if (!csv_path.empty()) {
+      core::write_text_file(csv_path, core::matrix_csv(result));
+      std::fprintf(stderr, "[crs_matrix] wrote %s\n", csv_path.c_str());
+    }
+    if (!json_path.empty()) {
+      core::write_text_file(json_path, core::matrix_json(result));
+      std::fprintf(stderr, "[crs_matrix] wrote %s\n", json_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+      core::write_text_file(metrics_path, core::matrix_metrics_csv(result));
+      std::fprintf(stderr, "[crs_matrix] wrote %s\n", metrics_path.c_str());
+    }
+    if (!bench_json_path.empty()) {
+      if (std::FILE* f = std::fopen(bench_json_path.c_str(), "a")) {
+        std::fprintf(f,
+                     "{\"name\":\"crs_matrix:%s\",\"wall_ms\":%.3f,"
+                     "\"items_per_s\":%.3f}\n",
+                     config.quick ? "quick" : "full", wall_ms,
+                     static_cast<double>(result.cells.size()) /
+                         (wall_ms / 1e3));
+        std::fclose(f);
+      }
+    }
+    return check ? check_story(result) : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "crs_matrix: %s\n", e.what());
+    return 1;
+  }
+}

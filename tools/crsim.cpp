@@ -9,6 +9,12 @@
 //   crsim --trace <out.json> ...     write a Chrome trace_event JSON of the
 //                                    run (chrome://tracing / Perfetto)
 //   crsim --metrics <out.csv> ...    write the metrics registry as CSV
+//   crsim --mitigations <set> ...    run under a mitigation preset (none,
+//                                    lfence-bounds, slh, retpoline,
+//                                    flush-on-switch, partition, ward-split,
+//                                    full) or a comma-joined flag list;
+//                                    unknown names are rejected with the
+//                                    valid listing
 //
 // The runtime library (print/exit_/memcpy/... and the gadget-donating
 // helpers) is linked in automatically, exactly as for the built-in
@@ -24,6 +30,7 @@
 #include "casm/assembler.hpp"
 #include "casm/runtime.hpp"
 #include "core/report.hpp"
+#include "mitigate/config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/kernel.hpp"
@@ -51,6 +58,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: crsim [--disasm] [--threads N] [--bench-json <path>] "
                  "[--trace <out.json>] [--metrics <out.csv>] "
+                 "[--mitigations <preset|flags>] "
                  "<prog.s> [args...]\n"
                  "       assembles with the runtime library and runs the "
                  "program on the simulator\n");
@@ -62,11 +70,18 @@ int main(int argc, char** argv) {
     std::string json_path;
     std::string trace_path;
     std::string metrics_path;
+    mitigate::MitigationConfig mitigations;
     int argi = 1;
     while (argi < argc && argv[argi][0] == '-') {
       const std::string flag = argv[argi];
       if (flag == "--disasm") {
         disasm = true;
+        ++argi;
+      } else if (flag == "--mitigations" && argi + 1 < argc) {
+        mitigations = mitigate::MitigationConfig::parse(argv[argi + 1]);
+        argi += 2;
+      } else if (flag.rfind("--mitigations=", 0) == 0) {
+        mitigations = mitigate::MitigationConfig::parse(flag.substr(14));
         ++argi;
       } else if (flag == "--threads" && argi + 1 < argc) {
         set_thread_override(
@@ -110,8 +125,12 @@ int main(int argc, char** argv) {
     }
     if (!trace_path.empty()) obs::set_tracing_enabled(true);
 
-    sim::Machine machine;
-    sim::Kernel kernel(machine);
+    sim::MachineConfig mcfg;
+    sim::KernelConfig kcfg;
+    mitigations.apply(mcfg, kcfg);
+    sim::Machine machine(mcfg);
+    sim::Kernel kernel(machine, kcfg);
+    const mitigate::Armed armed = mitigate::arm(kernel, mitigations);
     kernel.register_binary(path, program);
     kernel.start_with_strings(path, args);
     obs::TraceSpan run_span("crsim.run", machine.cpu().cycle());
@@ -160,6 +179,20 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "[crsim] wrote %zu trace events to %s\n",
                    obs::TraceSink::instance().event_count(),
                    trace_path.c_str());
+    }
+    if (mitigations.any()) {
+      const mitigate::MitigationSummary sum =
+          mitigate::summarize(machine, kernel, armed);
+      std::fprintf(stderr, "[crsim] mitigations=%s events=%llu\n",
+                   mitigations.serialize().c_str(),
+                   static_cast<unsigned long long>(sum.total_events()));
+      for (const auto& f : mitigate::summary_fields()) {
+        if (sum.*(f.member) != 0) {
+          std::fprintf(stderr, "[mitigate] %-28s %llu\n", f.name,
+                       static_cast<unsigned long long>(sum.*(f.member)));
+        }
+      }
+      sum.publish("mitigate");
     }
     if (!metrics_path.empty()) {
       machine.publish_metrics("sim");
