@@ -171,9 +171,12 @@ DefenseMatrixResult run_defense_matrix(const DefenseMatrixConfig& config) {
   ocfg.secret = config.secret;
   result.ipc_overhead_pct = parallel_map<double>(
       pool, result.presets.size(), [&](std::size_t i) {
-        ocfg.seed = derive_seed(config.seed ^ 0x0E4, i);
+        // Per-worker copy: writing the shared ocfg's seed from every worker
+        // would race, and could hand preset i another preset's seed.
+        OverheadConfig local = ocfg;
+        local.seed = derive_seed(config.seed ^ 0x0E4, i);
         return mitigation_overhead_pct("basicmath", config.host_scale,
-                                       preset_configs[i], ocfg);
+                                       preset_configs[i], local);
       });
 
   return result;

@@ -68,29 +68,47 @@ FencePassStats insert_bounds_fences(sim::Memory& memory, std::uint64_t lo,
   const std::uint64_t last_page =
       hi == 0 ? 0 : (hi - 1) / sim::Memory::kPageSize;
 
-  for (std::uint64_t page = first_page;
-       page <= last_page && page < memory.page_count(); ++page) {
-    const std::uint64_t page_lo = page * sim::Memory::kPageSize;
-    if ((memory.permissions_at(page_lo) & sim::kPermExec) == 0) continue;
-    ++stats.pages_scanned;
-    const std::uint64_t run_lo = std::max(lo, page_lo);
+  // Scan each contiguous run of executable pages as one window so a
+  // cmp/branch pair straddling a page boundary is fenced exactly as the
+  // Program-based variant (which scans whole segments) would fence it.
+  const auto is_exec = [&](std::uint64_t page) {
+    return (memory.permissions_at(page * sim::Memory::kPageSize) &
+            sim::kPermExec) != 0;
+  };
+  std::uint64_t page = first_page;
+  while (page <= last_page && page < memory.page_count()) {
+    if (!is_exec(page)) {
+      ++page;
+      continue;
+    }
+    std::uint64_t end = page;
+    while (end < last_page && end + 1 < memory.page_count() &&
+           is_exec(end + 1)) {
+      ++end;
+    }
+    stats.pages_scanned += end - page + 1;
+    const std::uint64_t run_lo =
+        std::max(lo, page * sim::Memory::kPageSize);
     const std::uint64_t run_hi =
-        std::min(hi, page_lo + sim::Memory::kPageSize);
+        std::min(hi, (end + 1) * sim::Memory::kPageSize);
     const std::uint64_t base =
         (run_lo + isa::kInstructionSize - 1) & ~(isa::kInstructionSize - 1);
-    if (base + isa::kInstructionSize > run_hi) continue;
-    const std::uint64_t slots = (run_hi - base) / isa::kInstructionSize;
-    scan_slots(
-        slots, stats,
-        [&](std::uint64_t i) {
-          return memory.read_span(base + i * isa::kInstructionSize,
-                                  isa::kInstructionSize);
-        },
-        [&](std::uint64_t i) {
-          // Byte 1 of the encoding is rd; write_u8 bumps the page version,
-          // which invalidates any pre-decoded slots for this page.
-          memory.write_u8(base + i * isa::kInstructionSize + 1, kFenceHintRd);
-        });
+    if (base + isa::kInstructionSize <= run_hi) {
+      const std::uint64_t slots = (run_hi - base) / isa::kInstructionSize;
+      scan_slots(
+          slots, stats,
+          [&](std::uint64_t i) {
+            return memory.read_span(base + i * isa::kInstructionSize,
+                                    isa::kInstructionSize);
+          },
+          [&](std::uint64_t i) {
+            // Byte 1 of the encoding is rd; write_u8 bumps the page version,
+            // which invalidates any pre-decoded slots for this page.
+            memory.write_u8(base + i * isa::kInstructionSize + 1,
+                            kFenceHintRd);
+          });
+    }
+    page = end + 1;
   }
   return stats;
 }

@@ -127,7 +127,10 @@ void Kernel::start(const std::string& path,
   loaded_.clear();
   load_order_.clear();
   injected_stack_tops_.clear();
-  ward_locks_.clear();
+  // If a prior run stopped mid-injection (e.g. instruction limit) the host's
+  // data pages are still kPermNone; restore them before the old mapping is
+  // forgotten, or the new (ASLR-shifted) image may not re-cover those pages.
+  ward_unlock_host();
   next_stack_top_ = machine_.memory().size();
 
   // Carve the main stack from the top of memory (RW, not executable: DEP).

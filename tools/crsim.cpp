@@ -72,30 +72,34 @@ int main(int argc, char** argv) {
     std::string metrics_path;
     mitigate::MitigationConfig mitigations;
     int argi = 1;
+    // Fetches the value of a value-taking flag, erroring out (rather than
+    // falling through to "unknown flag") when it is the last argument.
+    const auto next = [&](const std::string& flag) -> std::string {
+      if (argi + 1 >= argc) {
+        throw Error(flag + " needs a value");
+      }
+      argi += 2;
+      return argv[argi - 1];
+    };
     while (argi < argc && argv[argi][0] == '-') {
       const std::string flag = argv[argi];
       if (flag == "--disasm") {
         disasm = true;
         ++argi;
-      } else if (flag == "--mitigations" && argi + 1 < argc) {
-        mitigations = mitigate::MitigationConfig::parse(argv[argi + 1]);
-        argi += 2;
+      } else if (flag == "--mitigations") {
+        mitigations = mitigate::MitigationConfig::parse(next(flag));
       } else if (flag.rfind("--mitigations=", 0) == 0) {
         mitigations = mitigate::MitigationConfig::parse(flag.substr(14));
         ++argi;
-      } else if (flag == "--threads" && argi + 1 < argc) {
-        set_thread_override(
-            static_cast<unsigned>(std::strtoul(argv[argi + 1], nullptr, 10)));
-        argi += 2;
-      } else if (flag == "--bench-json" && argi + 1 < argc) {
-        json_path = argv[argi + 1];
-        argi += 2;
-      } else if (flag == "--trace" && argi + 1 < argc) {
-        trace_path = argv[argi + 1];
-        argi += 2;
-      } else if (flag == "--metrics" && argi + 1 < argc) {
-        metrics_path = argv[argi + 1];
-        argi += 2;
+      } else if (flag == "--threads") {
+        set_thread_override(static_cast<unsigned>(
+            std::strtoul(next(flag).c_str(), nullptr, 10)));
+      } else if (flag == "--bench-json") {
+        json_path = next(flag);
+      } else if (flag == "--trace") {
+        trace_path = next(flag);
+      } else if (flag == "--metrics") {
+        metrics_path = next(flag);
       } else {
         std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
         return 2;
