@@ -7,6 +7,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/memo.hpp"
 #include "support/parallel.hpp"
 
 namespace crs::core {
@@ -100,18 +101,35 @@ CampaignResult run_campaign(const CampaignConfig& config,
   perturb::VariantMutator mutator(config.scenario.perturb_params,
                                   config.seed ^ 0x77);
 
+  // All attempts of this campaign run through one session config: the
+  // session pins the host-scale draw to the campaign seed; per-attempt
+  // jitter (window phase, noise, kernel RNG) still varies with the attempt
+  // seed. The fast-reset switch only changes the cost model — with it on,
+  // worker threads share cached sessions (setup paid once, machine rolled
+  // back per attempt); with it off (--snapshot=off) every attempt rebuilds
+  // the world from scratch. Results are byte-identical either way
+  // (tests/test_snapshot.cpp holds the proof).
+  const bool fast = fast_reset_enabled();
+  ScenarioConfig session_cfg = config.scenario;
+  session_cfg.seed = config.seed;
+
   // One attempt: run the scenario and score it against `detector`. The
   // detector's predict/evaluate paths are const and pure, so concurrent
   // attempts may share it read-only.
   const auto run_attempt = [&](int attempt,
                                const perturb::PerturbParams& params,
                                ScenarioRun* run_out) {
-    ScenarioConfig scenario = config.scenario;
-    scenario.seed = config.seed * 7919 + static_cast<std::uint64_t>(attempt);
-    scenario.perturb_params = params;
+    const std::uint64_t attempt_seed =
+        config.seed * 7919 + static_cast<std::uint64_t>(attempt);
 
     const auto wall_start = std::chrono::steady_clock::now();
-    ScenarioRun run = run_scenario(scenario);
+    ScenarioRun run;
+    if (fast) {
+      run = thread_session(session_cfg).run_attempt(attempt_seed, params);
+    } else {
+      ScenarioSession session(session_cfg);
+      run = session.run_attempt(attempt_seed, params);
+    }
     const auto wall_end = std::chrono::steady_clock::now();
 
     AttemptRecord record;
@@ -145,6 +163,11 @@ CampaignResult run_campaign(const CampaignConfig& config,
     // attempt derives everything from its index (the seed formula matches
     // the serial loop) and records land in index order: the result is
     // bit-identical to the serial path for any thread count.
+    //
+    // Warm the build-artifact memo caches on the main thread first, so the
+    // workload/plan/attack builds — and any trace events they emit — happen
+    // deterministically before workers race, and no worker duplicates them.
+    if (fast) warm_scenario_memo(session_cfg);
     ThreadPool pool;
     result.attempts = parallel_map<AttemptRecord>(
         pool, static_cast<std::size_t>(config.attempts), [&](std::size_t i) {

@@ -5,6 +5,7 @@
 #include "core/corpus.hpp"
 #include "core/overhead.hpp"
 #include "support/error.hpp"
+#include "support/memo.hpp"
 #include "support/parallel.hpp"
 
 namespace crs::core {
@@ -124,27 +125,60 @@ DefenseMatrixResult run_defense_matrix(const DefenseMatrixConfig& config) {
   const std::size_t n_cells = attacks.size() * result.presets.size();
   const std::size_t n_items = n_cells * static_cast<std::size_t>(attempts);
 
+  // Every cell owns one session. The session seed is derived per ATTACK —
+  // not per cell — so every preset of an attack shares the same host scale,
+  // and therefore the same memoized workload build and ROP plan (the
+  // mitigations only change the machine/kernel, never the binaries). The
+  // fast-reset switch only decides whether attempts roll the machine back
+  // from a snapshot or rebuild it — the drawn randomness is identical, so
+  // --snapshot=off produces the same matrix. Warming the memos on the main
+  // thread keeps the builds off the workers entirely (a no-op when fast
+  // reset is disabled).
+  for (std::size_t attack_i = 0; attack_i < attacks.size(); ++attack_i) {
+    ScenarioConfig warm = attacks[attack_i].scenario;
+    warm.seed = derive_seed(config.seed ^ 0xCE11, attack_i);
+    warm_scenario_memo(warm);
+  }
+
   ThreadPool pool;
-  // Flat fan-out over (attack × preset × attempt): every item derives its
-  // seed from its index alone, and the fold below walks items in index
+  // Fan out over cells; each cell runs its attempts serially against its
+  // own session (pool items scatter across threads, so per-attempt fan-out
+  // would rebuild a session per attempt — the opposite of a fast reset).
+  // Every attempt still derives its seed from its flat (attack × preset ×
+  // attempt) item index alone, and the fold below walks items in index
   // order, so the matrix is identical for any thread count.
-  const std::vector<AttemptOutcome> outcomes = parallel_map<AttemptOutcome>(
-      pool, n_items, [&](std::size_t item) {
-        const std::size_t cell = item / static_cast<std::size_t>(attempts);
-        const std::size_t attack_i = cell / result.presets.size();
-        const std::size_t preset_i = cell % result.presets.size();
+  const std::vector<std::vector<AttemptOutcome>> cell_outcomes =
+      parallel_map<std::vector<AttemptOutcome>>(
+          pool, n_cells, [&](std::size_t cell) {
+            const std::size_t attack_i = cell / result.presets.size();
+            const std::size_t preset_i = cell % result.presets.size();
 
-        ScenarioConfig scenario = attacks[attack_i].scenario;
-        scenario.mitigations = preset_configs[preset_i];
-        scenario.seed = derive_seed(config.seed, item);
-        const ScenarioRun run = run_scenario(scenario);
+            ScenarioConfig scenario = attacks[attack_i].scenario;
+            scenario.mitigations = preset_configs[preset_i];
+            scenario.seed = derive_seed(config.seed ^ 0xCE11, attack_i);
+            ScenarioSession session(scenario);
 
-        AttemptOutcome out;
-        out.leaked = run.secret_recovered;
-        out.detection = detector.detection_rate(run.attack_windows);
-        out.mitigation = run.mitigation;
-        return out;
-      });
+            std::vector<AttemptOutcome> outs;
+            outs.reserve(static_cast<std::size_t>(attempts));
+            for (int a = 0; a < attempts; ++a) {
+              const std::size_t item =
+                  cell * static_cast<std::size_t>(attempts) +
+                  static_cast<std::size_t>(a);
+              const ScenarioRun run =
+                  session.run_attempt(derive_seed(config.seed, item));
+              AttemptOutcome out;
+              out.leaked = run.secret_recovered;
+              out.detection = detector.detection_rate(run.attack_windows);
+              out.mitigation = run.mitigation;
+              outs.push_back(out);
+            }
+            return outs;
+          });
+  std::vector<AttemptOutcome> outcomes;
+  outcomes.reserve(n_items);
+  for (const auto& cell : cell_outcomes) {
+    outcomes.insert(outcomes.end(), cell.begin(), cell.end());
+  }
 
   result.cells.resize(n_cells);
   for (std::size_t item = 0; item < outcomes.size(); ++item) {

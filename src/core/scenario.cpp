@@ -1,7 +1,9 @@
 #include "core/scenario.hpp"
 
-#include "rop/plan.hpp"
+#include <algorithm>
+
 #include "support/error.hpp"
+#include "support/memo.hpp"
 #include "support/rng.hpp"
 
 namespace crs::core {
@@ -10,6 +12,103 @@ namespace {
 
 constexpr const char* kHostPath = "/bin/host";
 constexpr const char* kAttackPath = "/bin/cr_spectre";
+
+// Process-wide content-addressed build caches (support/memo.hpp). The
+// builds are pure functions of their configs, so concurrent campaigns share
+// one artifact per distinct config instead of rebuilding per attempt.
+MemoCache<sim::Program>& workload_cache() {
+  static MemoCache<sim::Program> cache;
+  return cache;
+}
+MemoCache<sim::Program>& attack_cache() {
+  static MemoCache<sim::Program> cache;
+  return cache;
+}
+MemoCache<rop::InjectionPlan>& plan_cache() {
+  static MemoCache<rop::InjectionPlan> cache;
+  return cache;
+}
+
+void hash_perturb(HashBuilder& h, const perturb::PerturbParams& p) {
+  h.i64(p.a)
+      .i64(p.b)
+      .i64(p.loop_count)
+      .i64(p.a_step)
+      .i64(p.b_step)
+      .i64(p.extra_ladders)
+      .i64(p.delay)
+      .i64(static_cast<int>(p.style))
+      .b(p.flushless);
+}
+
+std::uint64_t hash_workload(const std::string& host,
+                            const workloads::WorkloadOptions& opt) {
+  HashBuilder h;
+  h.str(host).u64(opt.scale).b(opt.canary).str(opt.secret).u64(opt.link_base);
+  return h.digest();
+}
+
+std::uint64_t hash_attack_config(const attack::AttackConfig& a) {
+  HashBuilder h;
+  h.i64(static_cast<int>(a.variant))
+      .u64(a.target_secret_address)
+      .str(a.embed_secret)
+      .u32(a.secret_length)
+      .i64(a.train_iterations)
+      .i64(static_cast<int>(a.channel))
+      .i64(static_cast<int>(a.recovery))
+      .u32(a.threshold)
+      .i64(a.rounds_per_byte)
+      .u32(a.probe_stride)
+      .b(a.perturb);
+  hash_perturb(h, a.perturb_params);
+  h.i64(a.perturb_every)
+      .i64(a.perturb_probe_interval)
+      .u64(a.link_base)
+      .str(a.name);
+  return h.digest();
+}
+
+std::uint64_t hash_plan_key(const sim::Program& host,
+                            const rop::ReconSpec& spec,
+                            const std::string& attack_path) {
+  HashBuilder h;
+  h.u64(sim::hash_program(host));
+  h.str(spec.path).str(spec.entry_label).str(spec.body_label);
+  h.u64(spec.benign_args.size());
+  for (const auto& arg : spec.benign_args) h.str(arg);
+  h.u64(spec.max_instructions).str(attack_path);
+  return h.digest();
+}
+
+std::shared_ptr<const sim::Program> memo_workload(
+    const std::string& host, const workloads::WorkloadOptions& opt) {
+  return workload_cache().get_or_build(
+      hash_workload(host, opt),
+      [&] { return workloads::build_workload(host, opt); });
+}
+
+std::shared_ptr<const sim::Program> memo_attack(
+    const attack::AttackConfig& acfg) {
+  return attack_cache().get_or_build(
+      hash_attack_config(acfg),
+      [&] { return attack::build_attack_binary(acfg); });
+}
+
+std::shared_ptr<const rop::InjectionPlan> memo_plan(
+    const sim::Program& host, const rop::ReconSpec& spec,
+    const std::string& attack_path) {
+  return plan_cache().get_or_build(hash_plan_key(host, spec, attack_path), [&] {
+    return rop::plan_injection(host, spec, attack_path);
+  });
+}
+
+rop::ReconSpec make_recon_spec(const ScenarioConfig& config) {
+  rop::ReconSpec rspec;
+  rspec.path = kHostPath;
+  rspec.benign_args = {config.host, "recon-benign-input"};
+  return rspec;
+}
 
 }  // namespace
 
@@ -31,82 +130,125 @@ attack::AttackConfig make_attack_config(const ScenarioConfig& config,
   return acfg;
 }
 
-ScenarioRun run_scenario(const ScenarioConfig& config) {
-  CRS_ENSURE(!config.secret.empty(), "scenario needs a secret");
-  Rng rng(config.seed);
+ScenarioSession::ScenarioSession(const ScenarioConfig& config)
+    : config_(config), snapshot_mode_(fast_reset_enabled()) {
+  CRS_ENSURE(!config_.secret.empty(), "scenario needs a secret");
 
-  // Per-attempt jitter: work amount and sampling phase vary between runs,
-  // like back-to-back measurements on real hardware.
-  workloads::WorkloadOptions wopt;
-  wopt.scale = config.host_scale +
-               rng.next_below(std::max<std::uint64_t>(config.host_scale / 8, 1));
-  wopt.canary = config.canary;
-  wopt.secret = config.secret;
+  // First draw of the per-attempt Rng(seed) stream: the host's work scale.
+  // The session pins it to the session seed (run_attempt consumes-and-
+  // discards the same draw), so run_scenario(config) and
+  // ScenarioSession(config).run_attempt(config.seed) see identical streams.
+  Rng rng(config_.seed);
+  wopt_.scale =
+      config_.host_scale +
+      rng.next_below(std::max<std::uint64_t>(config_.host_scale / 8, 1));
+  wopt_.canary = config_.canary;
+  wopt_.secret = config_.secret;
 
-  hid::ProfilerConfig prof = config.profiler;
+  if (config_.rop_injected) {
+    host_ = memo_workload(config_.host, wopt_);
+    secret_address_ = host_->symbol("host_secret");
+    // Adversary offline phase (gadgets + recon + payload), against the
+    // no-ASLR layout the attacker assumes. Deterministic given host + spec,
+    // so memoized — and independent of the attack binary's contents, which
+    // is what lets dynamic-perturbation attempts keep the plan.
+    plan_ = memo_plan(*host_, make_recon_spec(config_), kAttackPath);
+    kcfg_.aslr = config_.aslr;
+  }
+  config_.mitigations.apply(mcfg_, kcfg_);
+  build_machine();
+  ensure_attack_binary(config_.perturb_params);
+}
+
+void ScenarioSession::build_machine() {
+  machine_ = std::make_unique<sim::Machine>(mcfg_);
+  kernel_ = std::make_unique<sim::Kernel>(*machine_, kcfg_);
+  armed_ = mitigate::arm(*kernel_, config_.mitigations);
+  if (host_) kernel_->register_binary(kHostPath, *host_);
+  if (attack_) kernel_->register_binary(kAttackPath, *attack_);
+  fresh_ = true;
+}
+
+void ScenarioSession::ensure_attack_binary(
+    const perturb::PerturbParams& params) {
+  if (attack_ && params == attack_params_) return;
+  ScenarioConfig cfg = config_;
+  cfg.perturb_params = params;
+  attack_ = memo_attack(make_attack_config(cfg, secret_address_));
+  attack_params_ = params;
+  kernel_->register_binary(kAttackPath, *attack_);
+}
+
+ScenarioRun ScenarioSession::run_attempt(std::uint64_t seed) {
+  return run_attempt(seed, config_.perturb_params);
+}
+
+ScenarioRun ScenarioSession::run_attempt(std::uint64_t seed,
+                                         const perturb::PerturbParams& params) {
+  ++attempts_;
+
+  // Per-attempt jitter, reproducing run_scenario's Rng(seed) stream: the
+  // scale draw was consumed at session construction, the sampling phase and
+  // noise seed vary per attempt like back-to-back measurements.
+  Rng rng(seed);
+  (void)rng.next_below(std::max<std::uint64_t>(config_.host_scale / 8, 1));
+  hid::ProfilerConfig prof = config_.profiler;
   prof.window_cycles +=
       rng.next_below(std::max<std::uint64_t>(prof.window_cycles / 10, 1));
   prof.noise_seed = rng.next_u64();
 
+  if (!fresh_) {
+    if (snapshot_mode_) {
+      machine_->restore(*snap_);
+    } else {
+      build_machine();  // legacy rebuild path (--snapshot=off)
+    }
+  } else if (snapshot_mode_) {
+    snap_ = std::make_unique<sim::MachineSnapshot>(machine_->snapshot());
+  }
+  fresh_ = false;
+  ensure_attack_binary(params);
+  kernel_->reset_for_attempt(seed ^
+                             (config_.rop_injected ? 0x5A5Aull : 0xABCDull));
+  // A fresh arm() starts with zero fence-pass stats every attempt; the
+  // session's long-lived hook must look the same to summarize().
+  *armed_.fence_stats = mitigate::FencePassStats{};
+
   ScenarioRun out;
 
-  if (!config.rop_injected) {
+  if (!config_.rop_injected) {
     // Standalone ("traditional") Spectre: the attack binary runs directly.
-    const auto acfg = make_attack_config(config, 0);
-    sim::MachineConfig mcfg;
-    sim::KernelConfig kcfg;
-    kcfg.seed = config.seed ^ 0xABCD;
-    config.mitigations.apply(mcfg, kcfg);
-    sim::Machine machine(mcfg);
-    sim::Kernel kernel(machine, kcfg);
-    const mitigate::Armed armed = mitigate::arm(kernel, config.mitigations);
-    kernel.register_binary(kAttackPath, attack::build_attack_binary(acfg));
-    out.profile = hid::profile_run_strings(kernel, kAttackPath,
-                                           {"cr_spectre"}, prof);
+    out.profile =
+        hid::profile_run_strings(*kernel_, kAttackPath, {"cr_spectre"}, prof);
     out.attack_windows = out.profile.windows;  // the whole run is attack
     out.attack_launched = true;
     out.recovered = out.profile.output;
-    out.secret_recovered = out.recovered == config.secret;
+    out.secret_recovered = out.recovered == config_.secret;
     out.host_ipc = 0.0;
-    out.mitigation = mitigate::summarize(machine, kernel, armed);
+    out.mitigation = mitigate::summarize(*machine_, *kernel_, armed_);
     return out;
   }
 
   // --- CR-Spectre: ROP-injected into the host ---
-  const sim::Program host = workloads::build_workload(config.host, wopt);
-  const auto acfg = make_attack_config(config, host.symbol("host_secret"));
-  const sim::Program attack_bin = attack::build_attack_binary(acfg);
-
-  // Adversary offline phase (gadgets + recon + payload), against the
-  // no-ASLR layout the attacker assumes.
-  rop::ReconSpec rspec;
-  rspec.path = kHostPath;
-  rspec.benign_args = {config.host, "recon-benign-input"};
-  const rop::InjectionPlan plan =
-      rop::plan_injection(host, rspec, kAttackPath);
-
-  sim::MachineConfig mcfg;
-  sim::KernelConfig kcfg;
-  kcfg.aslr = config.aslr;
-  kcfg.seed = config.seed ^ 0x5A5A;
-  config.mitigations.apply(mcfg, kcfg);
-  sim::Machine machine(mcfg);
-  sim::Kernel kernel(machine, kcfg);
-  const mitigate::Armed armed = mitigate::arm(kernel, config.mitigations);
-  kernel.register_binary(kHostPath, host);
-  kernel.register_binary(kAttackPath, attack_bin);
-
   std::vector<std::vector<std::uint8_t>> args;
-  args.emplace_back(config.host.begin(), config.host.end());
-  args.push_back(plan.payload.bytes);
-  out.profile = hid::profile_run(kernel, kHostPath, args, prof);
+  args.emplace_back(config_.host.begin(), config_.host.end());
+  args.push_back(plan_->payload.bytes);
+  out.profile = hid::profile_run(*kernel_, kHostPath, args, prof);
 
-  for (const auto& w : out.profile.windows) {
-    (w.injected ? out.attack_windows : out.host_windows).push_back(w);
+  // Ground-truth split. Sized up front; the samples are trivially copyable
+  // (std::array deltas), so the moved-from originals in profile.windows
+  // stay intact for callers that read them (golden traces, trace export).
+  std::size_t n_attack = 0;
+  for (const auto& w : out.profile.windows) n_attack += w.injected ? 1 : 0;
+  out.attack_windows.reserve(n_attack);
+  out.host_windows.reserve(out.profile.windows.size() - n_attack);
+  for (auto& w : out.profile.windows) {
+    (w.injected ? out.attack_windows : out.host_windows).push_back(
+        std::move(w));
   }
-  out.attack_launched = kernel.execve_count() > 0;
+  out.attack_launched = kernel_->execve_count() > 0;
   out.recovered = out.profile.output;
-  out.secret_recovered = out.recovered == config.secret;
+  out.secret_recovered = out.recovered == config_.secret;
 
   // IPC from the noiseless deltas: Table I's ~1% contrasts would otherwise
   // drown in measurement noise.
@@ -120,7 +262,89 @@ ScenarioRun run_scenario(const ScenarioConfig& config) {
                      ? 0.0
                      : static_cast<double>(host_instr) /
                            static_cast<double>(host_cycles);
-  out.mitigation = mitigate::summarize(machine, kernel, armed);
+  out.mitigation = mitigate::summarize(*machine_, *kernel_, armed_);
+  return out;
+}
+
+ScenarioRun run_scenario(const ScenarioConfig& config) {
+  ScenarioSession session(config);
+  return session.run_attempt(config.seed);
+}
+
+std::uint64_t hash_scenario_config(const ScenarioConfig& c) {
+  HashBuilder h;
+  h.str(c.host).u64(c.host_scale).str(c.secret);
+  h.i64(static_cast<int>(c.variant)).b(c.rop_injected).b(c.perturb);
+  hash_perturb(h, c.perturb_params);
+  h.b(c.canary).b(c.aslr);
+  const mitigate::MitigationConfig& m = c.mitigations;
+  h.b(m.fence_bounds)
+      .b(m.slh)
+      .b(m.retpoline)
+      .b(m.flush_predictors)
+      .b(m.flush_l1)
+      .b(m.partition_cache)
+      .b(m.ward_split);
+  h.u64(c.seed);
+  const hid::ProfilerConfig& p = c.profiler;
+  h.u64(p.window_cycles)
+      .u64(p.max_windows)
+      .u64(p.max_instructions)
+      .f64(p.noise_sigma)
+      .f64(p.background_intensity)
+      .u64(p.noise_seed);
+  return h.digest();
+}
+
+ScenarioSession& thread_session(const ScenarioConfig& config) {
+  // Each live session holds a 16 MB machine (plus program copies), so the
+  // per-thread cache stays small; campaign drivers key sessions per cell,
+  // and a thread rarely interleaves more than a few cells.
+  constexpr std::size_t kCapacity = 4;
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t last_use = 0;
+    std::unique_ptr<ScenarioSession> session;
+  };
+  thread_local std::vector<Entry> cache;
+  thread_local std::uint64_t tick = 0;
+
+  const std::uint64_t key = hash_scenario_config(config);
+  ++tick;
+  for (Entry& e : cache) {
+    if (e.key == key) {
+      e.last_use = tick;
+      return *e.session;
+    }
+  }
+  if (cache.size() >= kCapacity) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < cache.size(); ++i) {
+      if (cache[i].last_use < cache[victim].last_use) victim = i;
+    }
+    cache.erase(cache.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  cache.push_back(
+      Entry{key, tick, std::make_unique<ScenarioSession>(config)});
+  return *cache.back().session;
+}
+
+void warm_scenario_memo(const ScenarioConfig& config) {
+  if (!fast_reset_enabled()) return;
+  // Constructing a session builds the host/plan/attack artifacts through
+  // the memo caches as a side effect; the throwaway machine is the price of
+  // keeping exactly one build path.
+  ScenarioSession warm(config);
+}
+
+ScenarioMemoStats scenario_memo_stats() {
+  ScenarioMemoStats out;
+  out.workload_hits = workload_cache().hits();
+  out.workload_misses = workload_cache().misses();
+  out.attack_hits = attack_cache().hits();
+  out.attack_misses = attack_cache().misses();
+  out.plan_hits = plan_cache().hits();
+  out.plan_misses = plan_cache().misses();
   return out;
 }
 

@@ -11,9 +11,18 @@
 // injection (gadget scan + frame recon + payload), execute under the
 // windowed profiler, split windows by ground truth, and verify whether the
 // secret was actually exfiltrated.
+//
+// ScenarioSession is the campaign-scale fast path (DESIGN.md §10): it pays
+// the pipeline's setup — workload build, ROP recon + gadget planning,
+// attack-binary assembly, machine construction — once, snapshots the
+// pre-start machine state, and then serves run_attempt() by restoring the
+// snapshot instead of rebuilding the world. The attempt-level RNG stream is
+// reproduced exactly, so `run_scenario(config)` and
+// `ScenarioSession(config).run_attempt(config.seed)` are bit-identical.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,6 +30,8 @@
 #include "hid/profiler.hpp"
 #include "mitigate/config.hpp"
 #include "perturb/perturb.hpp"
+#include "rop/plan.hpp"
+#include "sim/snapshot.hpp"
 #include "workloads/workloads.hpp"
 
 namespace crs::core {
@@ -70,10 +81,97 @@ struct ScenarioRun {
   mitigate::MitigationSummary mitigation;
 };
 
+/// Reusable fast-reset execution context for repeated attempts of one
+/// scenario. Construction runs the full setup pipeline (host workload,
+/// ROP recon/plan, attack binary — all through the content-addressed memo
+/// caches — plus machine/kernel construction and mitigation arming); each
+/// run_attempt then rolls the machine back via Machine::restore and re-seeds
+/// the kernel, making attempt N bit-identical to a fresh run_scenario with
+/// the same attempt seed and session scale.
+///
+/// When fast reset is disabled (set_fast_reset_enabled(false) or
+/// CRS_SNAPSHOT=off), run_attempt falls back to reconstructing the
+/// machine/kernel per attempt — same results, legacy speed — which is what
+/// `--snapshot=off` exercises.
+///
+/// Not thread-safe: one session belongs to one thread (see thread_session).
+class ScenarioSession {
+ public:
+  explicit ScenarioSession(const ScenarioConfig& config);
+  ScenarioSession(const ScenarioSession&) = delete;
+  ScenarioSession& operator=(const ScenarioSession&) = delete;
+
+  /// One attempt with the scenario's configured perturbation parameters.
+  /// `seed` drives the per-attempt jitter (profiler phase/noise) and the
+  /// kernel RNG exactly as run_scenario's config.seed does; the host work
+  /// scale stays pinned to the session seed.
+  ScenarioRun run_attempt(std::uint64_t seed);
+
+  /// One attempt under mutated perturbation parameters (the dynamic
+  /// campaign's moving target). Only the attack binary differs, and its
+  /// rebuild goes through the memo cache; host, plan and snapshot are
+  /// reused as-is (the ROP plan does not depend on the attack binary).
+  ScenarioRun run_attempt(std::uint64_t seed,
+                          const perturb::PerturbParams& params);
+
+  const ScenarioConfig& config() const { return config_; }
+  bool snapshot_mode() const { return snapshot_mode_; }
+  std::uint64_t attempts() const { return attempts_; }
+
+ private:
+  void build_machine();
+  void ensure_attack_binary(const perturb::PerturbParams& params);
+
+  ScenarioConfig config_;
+  bool snapshot_mode_;
+  workloads::WorkloadOptions wopt_;
+  std::shared_ptr<const sim::Program> host_;        // null when standalone
+  std::shared_ptr<const rop::InjectionPlan> plan_;  // null when standalone
+  std::shared_ptr<const sim::Program> attack_;
+  perturb::PerturbParams attack_params_;
+  std::uint64_t secret_address_ = 0;
+  sim::MachineConfig mcfg_;
+  sim::KernelConfig kcfg_;
+  std::unique_ptr<sim::Machine> machine_;
+  std::unique_ptr<sim::Kernel> kernel_;
+  mitigate::Armed armed_;
+  std::unique_ptr<sim::MachineSnapshot> snap_;
+  bool fresh_ = true;
+  std::uint64_t attempts_ = 0;
+};
+
 ScenarioRun run_scenario(const ScenarioConfig& config);
 
 /// The attack binary a scenario would use (exposed for inspection/tests).
 attack::AttackConfig make_attack_config(const ScenarioConfig& config,
                                         std::uint64_t secret_address);
+
+/// Content hash over every ScenarioConfig field (session cache key).
+std::uint64_t hash_scenario_config(const ScenarioConfig& config);
+
+/// Bounded per-thread session cache: returns a live session for `config`
+/// (constructing one on first use), evicting the least-recently-used entry
+/// beyond a small capacity. Campaign drivers call this from worker threads;
+/// because a session's behaviour is a pure function of its config, results
+/// are identical for any CRS_THREADS.
+ScenarioSession& thread_session(const ScenarioConfig& config);
+
+/// Populates the workload/plan/attack memo caches for `config` on the
+/// calling thread (no-op when fast reset is off). Campaign drivers warm the
+/// caches once on the main thread before fanning out, so build work — and
+/// any trace events the builds emit — happens deterministically regardless
+/// of worker scheduling.
+void warm_scenario_memo(const ScenarioConfig& config);
+
+/// Hit/miss counters of the scenario-level memo caches (process-wide).
+struct ScenarioMemoStats {
+  std::uint64_t workload_hits = 0;
+  std::uint64_t workload_misses = 0;
+  std::uint64_t attack_hits = 0;
+  std::uint64_t attack_misses = 0;
+  std::uint64_t plan_hits = 0;
+  std::uint64_t plan_misses = 0;
+};
+ScenarioMemoStats scenario_memo_stats();
 
 }  // namespace crs::core

@@ -108,6 +108,10 @@ class CacheLevel {
   void reset_stats() { stats_ = {}; }
 
  private:
+  // Checkpoint/restore copies levels whole and must scrub the MRU memo
+  // (a raw pointer into ways_) afterwards.
+  friend class SnapshotAccess;
+
   struct Way {
     bool valid = false;
     std::uint64_t tag = 0;
@@ -231,6 +235,8 @@ class MemoryHierarchy {
   std::string check_invariants() const;
 
  private:
+  friend class SnapshotAccess;  // checkpoint/restore (sim/snapshot.cpp)
+
   HierarchyConfig config_;
   CacheLevel l1d_;
   CacheLevel l1i_;

@@ -168,6 +168,11 @@ class Cpu {
   const DecodeCache& decode_cache() const { return dcache_; }
 
  private:
+  // Checkpoint/restore (sim/snapshot.cpp) saves the registers and the
+  // counters that Cpu::reset deliberately leaves alone (cycle_, retired_,
+  // spec_episodes_, mstats_).
+  friend class SnapshotAccess;
+
   // -- architectural execution helpers ------------------------------------
   // exec_alu covers >90% of a typical instruction stream; forcing it (and
   // alu_result) into the dispatch loop removes a call per instruction.

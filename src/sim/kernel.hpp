@@ -48,12 +48,30 @@ struct MachineConfig {
   CpuConfig cpu;
 };
 
+class MachineSnapshot;
+
 /// Bundles the hardware: memory, caches, predictor, PMU and core.
 class Machine {
  public:
   explicit Machine(const MachineConfig& config = {});
 
+  /// Captures the full architectural + micro-architectural state (memory
+  /// pages with permissions and content versions, caches incl. partition
+  /// state and stats, PHT/BTB/RSB, PMU, CPU registers and counters) for
+  /// later rollback via restore(). Defined in sim/snapshot.cpp; include
+  /// sim/snapshot.hpp for the MachineSnapshot definition.
+  MachineSnapshot snapshot() const;
+
+  /// Rolls this machine back to `snap` (which must have been captured from
+  /// this machine) using dirty-page tracking: only pages whose content
+  /// version moved since the snapshot are rewritten, and their versions are
+  /// bumped — never rolled back — so stale decode-cache slots cannot
+  /// survive. After a restore the machine is indistinguishable from one
+  /// freshly constructed and driven to the snapshot point.
+  void restore(MachineSnapshot& snap);
+
   Memory& memory() { return memory_; }
+  const Memory& memory() const { return memory_; }
   MemoryHierarchy& hierarchy() { return hierarchy_; }
   BranchPredictor& predictor() { return predictor_; }
   Pmu& pmu() { return pmu_; }
@@ -159,6 +177,15 @@ class Kernel {
   StopReason run(std::uint64_t max_instructions);
   StopReason run_until_cycle(std::uint64_t cycle_target,
                              std::uint64_t max_instructions);
+
+  /// Re-arms this kernel for a fresh attempt on a machine that was just
+  /// rolled back via Machine::restore(): the RNG restarts exactly where a
+  /// new Kernel(machine, {.seed = seed}) would, the mitigation counters
+  /// zero, and stale ward locks are forgotten (the restore already
+  /// reinstated the permissions they recorded). The binary registry and
+  /// the load hook survive — registering and arming once per session is
+  /// the point of the fast-reset path. Follow with start().
+  void reset_for_attempt(std::uint64_t seed);
 
   /// Byte stream written via SYS_WRITE since start().
   const std::vector<std::uint8_t>& output() const { return output_; }

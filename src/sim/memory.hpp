@@ -77,6 +77,10 @@ class Memory {
   }
 
  private:
+  // Checkpoint/restore (sim/snapshot.cpp) reads and rewrites the page store
+  // directly: restores bump versions rather than rolling them back.
+  friend class SnapshotAccess;
+
   void bump_versions(std::uint64_t addr, std::uint64_t len) {
     const std::uint64_t first = addr / kPageSize;
     const std::uint64_t last = (addr + len - 1) / kPageSize;

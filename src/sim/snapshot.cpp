@@ -1,0 +1,238 @@
+#include "sim/snapshot.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/memo.hpp"
+
+namespace crs::sim {
+
+/// Sole holder of friend access into the sim privates the checkpoint needs:
+/// Memory's page store, CacheLevel's MRU memo, and the Cpu counters that
+/// survive Cpu::reset. Everything else restores through public copy
+/// assignment of the (value-semantic) sub-objects.
+class SnapshotAccess {
+ public:
+  static MachineSnapshot capture(const Machine& machine) {
+    MachineSnapshot snap;
+    capture_memory(machine.memory(), snap);
+    snap.hierarchy_.emplace(machine.hierarchy());
+    scrub_mru(*snap.hierarchy_);
+    snap.predictor_.emplace(machine.predictor());
+    snap.pmu_ = machine.pmu();
+    capture_cpu(machine.cpu(), snap.cpu_);
+    return snap;
+  }
+
+  static void restore(Machine& machine, MachineSnapshot& snap) {
+    CRS_ENSURE(snap.hierarchy_.has_value(),
+               "restore from a default-constructed MachineSnapshot");
+    restore_memory(machine.memory(), snap);
+    // Whole-object copy-back: cache contents + LRU stamps + partition state
+    // + per-level stats, then the predictor tables and PMU counters. The
+    // copied MRU memo would point into the snapshot's dead storage, so it
+    // is scrubbed (the next access repopulates it through the search path).
+    machine.hierarchy() = *snap.hierarchy_;
+    scrub_mru(machine.hierarchy());
+    machine.predictor() = *snap.predictor_;
+    machine.pmu() = snap.pmu_;
+    restore_cpu(machine.cpu(), snap.cpu_);
+    ++snap.restore_count_;
+  }
+
+ private:
+  static void capture_memory(const Memory& mem, MachineSnapshot& snap) {
+    // Versions start at 1 and every write/permission change bumps them, so
+    // version 1 means byte-for-byte pristine (zeroed, kPermNone): only
+    // touched pages need storing. The usual pre-start capture of a fresh
+    // machine stores nothing at all.
+    snap.baseline_ = mem.versions_;
+    for (std::uint64_t p = 0; p < mem.versions_.size(); ++p) {
+      if (mem.versions_[p] == 1) continue;
+      MachineSnapshot::PageImage img;
+      img.index = p;
+      img.perm = mem.perms_[p];
+      std::memcpy(img.bytes.data(), mem.bytes_.data() + p * Memory::kPageSize,
+                  Memory::kPageSize);
+      snap.pages_.push_back(std::move(img));
+    }
+  }
+
+  static void restore_memory(Memory& mem, MachineSnapshot& snap) {
+    CRS_ENSURE(snap.baseline_.size() == mem.versions_.size(),
+               "snapshot taken from a differently-sized machine");
+    std::size_t restored = 0;
+    std::size_t cursor = 0;  // pages_ is sorted by index; walk it once
+    for (std::uint64_t p = 0; p < mem.versions_.size(); ++p) {
+      if (mem.versions_[p] == snap.baseline_[p]) continue;  // clean page
+      while (cursor < snap.pages_.size() && snap.pages_[cursor].index < p) {
+        ++cursor;
+      }
+      std::uint8_t* page = mem.bytes_.data() + p * Memory::kPageSize;
+      if (cursor < snap.pages_.size() && snap.pages_[cursor].index == p) {
+        std::memcpy(page, snap.pages_[cursor].bytes.data(), Memory::kPageSize);
+        mem.perms_[p] = snap.pages_[cursor].perm;
+      } else {
+        std::memset(page, 0, Memory::kPageSize);
+        mem.perms_[p] = static_cast<std::uint8_t>(kPermNone);
+      }
+      // Bump — never roll back. The decode cache validates slots with a
+      // version equality compare; advancing monotonically guarantees no
+      // slot decoded from the overwritten bytes can match the restored
+      // page (see the header invariant).
+      ++mem.versions_[p];
+      snap.baseline_[p] = mem.versions_[p];
+      ++restored;
+    }
+    snap.last_restored_pages_ = restored;
+  }
+
+  static void scrub_mru(MemoryHierarchy& hierarchy) {
+    for (CacheLevel* level :
+         {&hierarchy.l1d_, &hierarchy.l1i_, &hierarchy.l2_}) {
+      level->mru_line_ = ~0ull;
+      level->mru_way_ = nullptr;
+    }
+  }
+
+  static void capture_cpu(const Cpu& cpu, MachineSnapshot::CpuImage& img) {
+    std::memcpy(img.regs, cpu.regs_, sizeof(img.regs));
+    std::memcpy(img.reg_ready, cpu.reg_ready_, sizeof(img.reg_ready));
+    img.pc = cpu.pc_;
+    img.cycle = cpu.cycle_;
+    img.retired = cpu.retired_;
+    img.spec_episodes = cpu.spec_episodes_;
+    img.mstats = cpu.mstats_;
+    img.halted = cpu.halted_;
+    img.fault = cpu.fault_;
+  }
+
+  static void restore_cpu(Cpu& cpu, const MachineSnapshot::CpuImage& img) {
+    // The decode cache is deliberately NOT touched: page-version bumps
+    // already invalidate slots for every restored page, and slots for
+    // clean pages stay warm across attempts (pure speed, never visible).
+    std::memcpy(cpu.regs_, img.regs, sizeof(img.regs));
+    std::memcpy(cpu.reg_ready_, img.reg_ready, sizeof(img.reg_ready));
+    cpu.pc_ = img.pc;
+    cpu.cycle_ = img.cycle;
+    cpu.retired_ = img.retired;
+    cpu.spec_episodes_ = img.spec_episodes;
+    cpu.mstats_ = img.mstats;
+    cpu.halted_ = img.halted;
+    cpu.fault_ = img.fault;
+  }
+};
+
+MachineSnapshot Machine::snapshot() const {
+  return SnapshotAccess::capture(*this);
+}
+
+void Machine::restore(MachineSnapshot& snap) {
+  SnapshotAccess::restore(*this, snap);
+}
+
+void Kernel::reset_for_attempt(std::uint64_t seed) {
+  // Pair with Machine::restore to make a reused machine+kernel behave like
+  // freshly-constructed ones: the RNG restarts exactly where a new
+  // Kernel(machine, {.seed = seed}) would, the mitigation counters zero,
+  // and stale ward locks are forgotten (the machine restore already
+  // reinstated the page permissions they recorded). Everything else that is
+  // per-run — output, exit code, load tables, stack carving — is reset by
+  // start().
+  rng_ = Rng(seed);
+  kstats_ = {};
+  ward_locks_.clear();
+}
+
+Machine& MachinePool::acquire(const MachineConfig& config) {
+  const std::uint64_t key = hash_machine_config(config);
+  ++tick_;
+  for (Entry& e : entries_) {
+    if (e.key == key) {
+      e.last_use = tick_;
+      ++hits_;
+      e.machine->restore(*e.snapshot);
+      return *e.machine;
+    }
+  }
+  ++misses_;
+  if (entries_.size() >= capacity_ && !entries_.empty()) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].last_use < entries_[victim].last_use) victim = i;
+    }
+    entries_.erase(entries_.begin() +
+                   static_cast<std::ptrdiff_t>(victim));
+  }
+  Entry e;
+  e.key = key;
+  e.last_use = tick_;
+  e.machine = std::make_unique<Machine>(config);
+  e.snapshot = std::make_unique<MachineSnapshot>(e.machine->snapshot());
+  entries_.push_back(std::move(e));
+  return *entries_.back().machine;
+}
+
+std::uint64_t hash_machine_config(const MachineConfig& config) {
+  HashBuilder h;
+  h.u64(config.memory_size);
+  const auto cache = [&](const CacheConfig& c) {
+    h.u32(c.size_bytes).u32(c.line_size).u32(c.ways).u32(c.partition_ways);
+  };
+  cache(config.hierarchy.l1d);
+  cache(config.hierarchy.l1i);
+  cache(config.hierarchy.l2);
+  const HierarchyTimings& t = config.hierarchy.timings;
+  h.u32(t.l1_hit).u32(t.l2_hit).u32(t.memory);
+  h.u32(t.fetch_l1_hit).u32(t.fetch_l1_miss).u32(t.flush_cost);
+  h.u32(config.predictor.pht_entries)
+      .u32(config.predictor.btb_entries)
+      .u32(config.predictor.rsb_entries);
+  const CpuConfig& c = config.cpu;
+  h.u32(c.max_spec_window)
+      .u32(c.rob_window)
+      .u32(c.mispredict_penalty)
+      .u32(c.fence_cost)
+      .u32(c.syscall_cost)
+      .u32(c.mul_latency)
+      .u32(c.div_latency)
+      .b(c.decode_cache)
+      .b(c.honor_fence_hints)
+      .b(c.slh)
+      .b(c.no_indirect_speculation);
+  return h.digest();
+}
+
+std::uint64_t hash_kernel_config(const KernelConfig& config) {
+  HashBuilder h;
+  h.u64(config.stack_size)
+      .b(config.aslr)
+      .u64(config.aslr_range)
+      .u64(config.seed)
+      .i64(config.max_execve_depth)
+      .b(config.flush_predictors_on_switch)
+      .b(config.flush_l1_on_switch)
+      .b(config.ward_split);
+  return h.digest();
+}
+
+std::uint64_t hash_program(const Program& program) {
+  HashBuilder h;
+  h.str(program.name).u64(program.link_base).u64(program.entry);
+  h.u64(program.segments.size());
+  for (const Segment& s : program.segments) {
+    h.str(s.name).u64(s.addr).u32(static_cast<std::uint32_t>(s.perm));
+    h.u64(s.bytes.size()).bytes(s.bytes.data(), s.bytes.size());
+  }
+  h.u64(program.relocations.size());
+  for (const Relocation& r : program.relocations) {
+    h.u64(r.segment).u64(r.offset).u32(static_cast<std::uint32_t>(r.kind));
+  }
+  h.u64(program.symbols.size());
+  for (const auto& [name, addr] : program.symbols) {
+    h.str(name).u64(addr);
+  }
+  return h.digest();
+}
+
+}  // namespace crs::sim

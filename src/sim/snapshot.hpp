@@ -1,0 +1,118 @@
+// Machine checkpoint/restore: the execution-side half of the fast-reset
+// engine (DESIGN.md §10).
+//
+// `Machine::snapshot()` captures the full architectural and
+// micro-architectural state — memory pages with their permissions and
+// content versions (including ward-locked pages), cache contents, partition
+// state and per-level stats, PHT/BTB/RSB, PMU counters, and every CPU
+// register/counter — and `Machine::restore()` rolls the machine back using
+// dirty-page tracking: the per-page monotonic content versions that already
+// keep the decode cache coherent double as a dirty bitmap, so a restore
+// touches only the pages mutated since the snapshot instead of memcpy'ing
+// the whole 16 MB address space.
+//
+// Invariant: restore BUMPS the version of every page it rewrites (and
+// re-baselines the snapshot to the new value); it never rolls a version
+// back. The decode cache validates pre-decoded slots with a version
+// equality compare, so reusing an old version number could let slots
+// decoded from a later run's bytes appear fresh for the restored bytes.
+// Monotonically advancing versions make every restored page decode-miss
+// once and re-decode from the restored contents — self-modifying code and
+// fence-hint rewrites can never leak across a restore.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace crs::sim {
+
+/// Opaque checkpoint of one Machine. Created by `Machine::snapshot()`,
+/// consumed (repeatedly) by `Machine::restore()` on the SAME machine. The
+/// snapshot is mutable: each restore re-baselines its dirty-page tracking,
+/// so back-to-back attempt loops stay O(pages touched per attempt).
+class MachineSnapshot {
+ public:
+  MachineSnapshot() = default;
+
+  /// Pages whose contents/permissions were already non-pristine at capture
+  /// time (zero for the usual pre-start capture of a fresh machine).
+  std::size_t stored_page_count() const { return pages_.size(); }
+  /// Pages rewritten by the most recent restore.
+  std::size_t last_restored_pages() const { return last_restored_pages_; }
+  std::uint64_t restore_count() const { return restore_count_; }
+
+ private:
+  friend class SnapshotAccess;
+
+  struct PageImage {
+    std::uint64_t index = 0;
+    std::uint8_t perm = 0;
+    std::array<std::uint8_t, Memory::kPageSize> bytes{};
+  };
+
+  std::vector<PageImage> pages_;         // sorted by page index
+  std::vector<std::uint32_t> baseline_;  // per-page version at last (re)base
+  std::optional<MemoryHierarchy> hierarchy_;
+  std::optional<BranchPredictor> predictor_;
+  Pmu pmu_;
+
+  struct CpuImage {
+    std::uint64_t regs[isa::kNumRegisters] = {};
+    std::uint64_t reg_ready[isa::kNumRegisters] = {};
+    std::uint64_t pc = 0;
+    std::uint64_t cycle = 0;
+    std::uint64_t retired = 0;
+    std::uint64_t spec_episodes = 0;
+    CpuMitigationStats mstats;
+    bool halted = true;
+    Fault fault;
+  } cpu_;
+
+  std::size_t last_restored_pages_ = 0;
+  std::uint64_t restore_count_ = 0;
+};
+
+/// Per-thread pool of reusable machines keyed by config hash. `acquire`
+/// returns a machine restored to its freshly-constructed state — by the
+/// snapshot contract, indistinguishable from `Machine(config)` — paying the
+/// construction (16 MB zero-fill, cache/predictor allocation) only on first
+/// use per config. Bounded LRU: least-recently-used entries are dropped
+/// when `capacity` distinct configs are live. The returned reference stays
+/// valid until the next acquire() evicts it, so use one machine at a time.
+class MachinePool {
+ public:
+  explicit MachinePool(std::size_t capacity = 6) : capacity_(capacity) {}
+
+  Machine& acquire(const MachineConfig& config);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::uint64_t last_use = 0;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<MachineSnapshot> snapshot;
+  };
+
+  std::size_t capacity_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Entry> entries_;
+};
+
+/// Content hashes for memo keys (support/memo.hpp) covering every field
+/// that influences simulated behaviour.
+std::uint64_t hash_machine_config(const MachineConfig& config);
+std::uint64_t hash_kernel_config(const KernelConfig& config);
+std::uint64_t hash_program(const Program& program);
+
+}  // namespace crs::sim

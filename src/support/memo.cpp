@@ -1,0 +1,34 @@
+#include "support/memo.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace crs {
+
+namespace {
+
+int initial_state() {
+  const char* env = std::getenv("CRS_SNAPSHOT");
+  if (env != nullptr &&
+      (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0)) {
+    return 0;
+  }
+  return 1;
+}
+
+std::atomic<int>& state() {
+  static std::atomic<int> s{initial_state()};
+  return s;
+}
+
+}  // namespace
+
+bool fast_reset_enabled() {
+  return state().load(std::memory_order_relaxed) != 0;
+}
+
+void set_fast_reset_enabled(bool enabled) {
+  state().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace crs

@@ -1,0 +1,107 @@
+// Content-addressed memoization for expensive deterministic builds.
+//
+// Campaign-scale drivers run the same scenario thousands of times with only
+// the seed (and occasionally the perturb parameters) varying, yet every
+// attempt used to rebuild the host workload, re-run ROP recon and reassemble
+// the attack binary from scratch. Those builds are pure functions of their
+// configs, so a process-wide cache keyed on a config hash computes each
+// artifact once and hands out shared immutable copies — the build-side half
+// of the snapshot/restore fast-reset engine (see sim/snapshot.hpp and
+// DESIGN.md §10).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+namespace crs {
+
+/// Process-wide fast-reset switch. When off, MemoCache::get_or_build always
+/// rebuilds (nothing is cached) and the scenario/campaign drivers fall back
+/// to the legacy construct-everything-per-attempt path — the `--snapshot=off`
+/// debugging aid. Defaults to on unless the CRS_SNAPSHOT environment
+/// variable is "off" or "0".
+bool fast_reset_enabled();
+void set_fast_reset_enabled(bool enabled);
+
+/// Incremental FNV-1a hasher for building content-addressed cache keys out
+/// of config structs. Every field feed is length-prefixed by its type width
+/// via the fixed-width overloads, so adjacent fields cannot alias.
+class HashBuilder {
+ public:
+  HashBuilder& bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+    return *this;
+  }
+  HashBuilder& u64(std::uint64_t v) { return bytes(&v, sizeof(v)); }
+  HashBuilder& u32(std::uint32_t v) { return bytes(&v, sizeof(v)); }
+  HashBuilder& i64(std::int64_t v) { return bytes(&v, sizeof(v)); }
+  HashBuilder& b(bool v) { return u32(v ? 1u : 0u); }
+  HashBuilder& f64(double v) { return bytes(&v, sizeof(v)); }
+  HashBuilder& str(std::string_view s) {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;  // FNV offset basis
+};
+
+/// Thread-safe build cache: key → shared immutable artifact. The builder
+/// runs outside the lock (two threads racing on a cold key may both build;
+/// the first insert wins and both get the same deterministic value), so a
+/// slow build never serialises unrelated lookups.
+template <typename T>
+class MemoCache {
+ public:
+  std::shared_ptr<const T> get_or_build(std::uint64_t key,
+                                        const std::function<T()>& build) {
+    if (!fast_reset_enabled()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::make_shared<const T>(build());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = map_.find(key);
+      if (it != map_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    auto built = std::make_shared<const T>(build());
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = map_.try_emplace(key, std::move(built));
+    return it->second;
+  }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const T>> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace crs

@@ -8,6 +8,7 @@
 #include "attack/spectre.hpp"
 #include "harness.hpp"
 #include "sim/decode_cache.hpp"
+#include "sim/snapshot.hpp"
 #include "workloads/workloads.hpp"
 
 namespace crs {
@@ -194,6 +195,44 @@ TEST(DecodeCache, OnOffBehaviourallyIdentical) {
   const auto attack_prog = attack::build_attack_binary(acfg);
   const auto with = run_one(attack_prog, true);
   EXPECT_EQ(with, run_one(attack_prog, false));
+}
+
+// Snapshot restore vs the decode cache: restoring a page that a later run
+// rewrote (SMC-style) must bump the page version — never roll it back — so
+// slots decoded from the later bytes can never be served against the
+// restored bytes.
+TEST(DecodeCache, SnapshotRestoreBumpsVersionsSoStaleSlotsDie) {
+  sim::Machine machine;  // decode cache on by default
+  auto& mem = machine.memory();
+  const std::uint64_t base = 0x1000;
+  mem.set_permissions(base, Memory::kPageSize,
+                      static_cast<sim::Perm>(sim::kPermRW | sim::kPermExec));
+  put(mem, base + 0x00, isa::Opcode::kMovImm, 1, 0, 0, 11);
+  put(mem, base + 0x08, isa::Opcode::kHalt);
+
+  // Checkpoint with program A in place, then execute it (populating the
+  // decode cache with A's slots at the current page version).
+  sim::MachineSnapshot snap = machine.snapshot();
+  EXPECT_EQ(snap.stored_page_count(), 1u);
+  machine.cpu().reset(base, 0x8000);
+  EXPECT_EQ(machine.cpu().run(100), StopReason::kHalted);
+  EXPECT_EQ(machine.cpu().reg(1), 11u);
+
+  // Overwrite with program B and run: the cache now holds B's decodes.
+  put(mem, base + 0x00, isa::Opcode::kMovImm, 1, 0, 0, 22);
+  const std::uint32_t version_b = mem.page_version(base / Memory::kPageSize);
+  machine.cpu().reset(base, 0x8000);
+  EXPECT_EQ(machine.cpu().run(100), StopReason::kHalted);
+  EXPECT_EQ(machine.cpu().reg(1), 22u);
+
+  // Roll back to A. The restored page's version must be strictly greater
+  // than anything the cache has seen, forcing a re-decode of A's bytes.
+  machine.restore(snap);
+  EXPECT_EQ(snap.last_restored_pages(), 1u);
+  EXPECT_GT(mem.page_version(base / Memory::kPageSize), version_b);
+  machine.cpu().reset(base, 0x8000);
+  EXPECT_EQ(machine.cpu().run(100), StopReason::kHalted);
+  EXPECT_EQ(machine.cpu().reg(1), 11u) << "stale decode of B survived restore";
 }
 
 }  // namespace

@@ -14,6 +14,9 @@
 //                                     preset shows mitigation activity
 //   crs_matrix --threads N            worker-pool width (results identical
 //                                     for any value)
+//   crs_matrix --snapshot on|off      snapshot/memo fast-reset engine
+//                                     (default on; off = legacy rebuild of
+//                                     every machine and binary per attempt)
 //   crs_matrix --bench-json <path>    append a perf record for the sweep
 //
 // Sweeps {spectre-pht, spectre-rsb, cr-spectre} × {mitigation presets} and
@@ -29,6 +32,7 @@
 #include "core/defense_matrix.hpp"
 #include "core/report.hpp"
 #include "support/error.hpp"
+#include "support/memo.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
 
@@ -40,9 +44,20 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--quick] [--check] [--presets a,b,c] "
                "[--attempts N] [--seed S] [--csv <path>] [--json <path>] "
-               "[--metrics <path>] [--threads N] [--bench-json <path>]\n",
+               "[--metrics <path>] [--threads N] [--snapshot on|off] "
+               "[--bench-json <path>]\n",
                argv0);
   return 2;
+}
+
+void apply_snapshot_flag(const std::string& value) {
+  if (value == "on" || value == "1") {
+    set_fast_reset_enabled(true);
+  } else if (value == "off" || value == "0") {
+    set_fast_reset_enabled(false);
+  } else {
+    throw Error("--snapshot wants 'on' or 'off', got '" + value + "'");
+  }
 }
 
 /// The CI gate: the undefended column must reproduce the paper's leak, the
@@ -143,6 +158,10 @@ int main(int argc, char** argv) {
       } else if (flag == "--threads") {
         set_thread_override(
             static_cast<unsigned>(std::strtoul(next(), nullptr, 10)));
+      } else if (flag == "--snapshot") {
+        apply_snapshot_flag(next());
+      } else if (flag.rfind("--snapshot=", 0) == 0) {
+        apply_snapshot_flag(flag.substr(11));
       } else {
         std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
         return usage(argv[0]);
@@ -172,10 +191,11 @@ int main(int argc, char** argv) {
       if (std::FILE* f = std::fopen(bench_json_path.c_str(), "a")) {
         std::fprintf(f,
                      "{\"name\":\"crs_matrix:%s\",\"wall_ms\":%.3f,"
-                     "\"items_per_s\":%.3f}\n",
+                     "\"items_per_s\":%.3f,\"snapshot\":\"%s\"}\n",
                      config.quick ? "quick" : "full", wall_ms,
                      static_cast<double>(result.cells.size()) /
-                         (wall_ms / 1e3));
+                         (wall_ms / 1e3),
+                     fast_reset_enabled() ? "on" : "off");
         std::fclose(f);
       }
     }

@@ -15,6 +15,11 @@
 //                                    full) or a comma-joined flag list;
 //                                    unknown names are rejected with the
 //                                    valid listing
+//   crsim --snapshot on|off ...      force the snapshot/memo fast-reset
+//                                    engine on or off for library code that
+//                                    runs repeated attempts (off = legacy
+//                                    rebuild-everything path); recorded in
+//                                    the --bench-json line
 //
 // The runtime library (print/exit_/memcpy/... and the gadget-donating
 // helpers) is linked in automatically, exactly as for the built-in
@@ -35,10 +40,21 @@
 #include "obs/trace.hpp"
 #include "sim/kernel.hpp"
 #include "support/error.hpp"
+#include "support/memo.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
 
 namespace {
+
+void apply_snapshot_flag(const std::string& value) {
+  if (value == "on" || value == "1") {
+    crs::set_fast_reset_enabled(true);
+  } else if (value == "off" || value == "0") {
+    crs::set_fast_reset_enabled(false);
+  } else {
+    throw crs::Error("--snapshot wants 'on' or 'off', got '" + value + "'");
+  }
+}
 
 std::string read_file(const std::string& path) {
   std::ifstream f(path);
@@ -58,7 +74,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: crsim [--disasm] [--threads N] [--bench-json <path>] "
                  "[--trace <out.json>] [--metrics <out.csv>] "
-                 "[--mitigations <preset|flags>] "
+                 "[--mitigations <preset|flags>] [--snapshot on|off] "
                  "<prog.s> [args...]\n"
                  "       assembles with the runtime library and runs the "
                  "program on the simulator\n");
@@ -90,6 +106,11 @@ int main(int argc, char** argv) {
         mitigations = mitigate::MitigationConfig::parse(next(flag));
       } else if (flag.rfind("--mitigations=", 0) == 0) {
         mitigations = mitigate::MitigationConfig::parse(flag.substr(14));
+        ++argi;
+      } else if (flag == "--snapshot") {
+        apply_snapshot_flag(next(flag));
+      } else if (flag.rfind("--snapshot=", 0) == 0) {
+        apply_snapshot_flag(flag.substr(11));
         ++argi;
       } else if (flag == "--threads") {
         set_thread_override(static_cast<unsigned>(
@@ -210,10 +231,11 @@ int main(int argc, char** argv) {
       if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
         std::fprintf(f,
                      "{\"name\":\"crsim:%s\",\"wall_ms\":%.3f,"
-                     "\"items_per_s\":%.3f}\n",
+                     "\"items_per_s\":%.3f,\"snapshot\":\"%s\"}\n",
                      path.c_str(), wall_ms,
                      static_cast<double>(machine.cpu().retired()) /
-                         (wall_ms / 1e3));
+                         (wall_ms / 1e3),
+                     fast_reset_enabled() ? "on" : "off");
         std::fclose(f);
       }
     }
