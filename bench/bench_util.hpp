@@ -8,6 +8,7 @@
 
 #include "core/campaign.hpp"
 #include "core/corpus.hpp"
+#include "core/report.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
 
@@ -44,15 +45,21 @@ class BenchIo {
   bool json_enabled() const { return !json_path_.empty(); }
   const std::string& json_path() const { return json_path_; }
 
-  /// Appends `{"name":...,"wall_ms":...,"items_per_s":...}` to the JSON
-  /// file; no-op when --bench-json was not given.
+  /// Appends `{"name":...,"wall_ms":...,"items_per_s":...,"config":{...}}`
+  /// to the JSON file; no-op when --bench-json was not given. The config
+  /// object records the process-wide defaults (threads, snapshot, exec
+  /// engine, mitigations) — benchmarks that pin a different engine per arg
+  /// encode the variant in the name, as BM_CpuThroughput does.
   void emit(const std::string& name, double wall_ms,
             double items_per_s) const {
     if (json_path_.empty()) return;
     std::FILE* f = std::fopen(json_path_.c_str(), "a");
     if (f == nullptr) return;
-    std::fprintf(f, "{\"name\":\"%s\",\"wall_ms\":%.3f,\"items_per_s\":%.3f}\n",
-                 name.c_str(), wall_ms, items_per_s);
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"wall_ms\":%.3f,\"items_per_s\":%.3f,"
+                 "\"config\":%s}\n",
+                 name.c_str(), wall_ms, items_per_s,
+                 core::bench_config_json().c_str());
     std::fclose(f);
   }
 
@@ -64,13 +71,15 @@ class BenchIo {
     if (json_path_.empty()) return;
     std::FILE* f = std::fopen(json_path_.c_str(), "a");
     if (f == nullptr) return;
+    const std::string config = core::bench_config_json();
     for (const auto& a : result.attempts) {
       std::fprintf(f,
                    "{\"name\":\"%s:attempt%d\",\"wall_ms\":%.3f,"
-                   "\"sim_cycles\":%llu,\"detection_rate\":%.6f}\n",
+                   "\"sim_cycles\":%llu,\"detection_rate\":%.6f,"
+                   "\"config\":%s}\n",
                    name.c_str(), a.attempt, a.wall_ms,
                    static_cast<unsigned long long>(a.sim_cycles),
-                   a.detection_rate);
+                   a.detection_rate, config.c_str());
     }
     std::fclose(f);
   }

@@ -8,6 +8,7 @@
 #include "core/corpus.hpp"
 #include "mitigate/fence_pass.hpp"
 #include "rop/gadget.hpp"
+#include "sim/block_cache.hpp"
 #include "sim/kernel.hpp"
 #include "support/parallel.hpp"
 #include "workloads/workloads.hpp"
@@ -18,14 +19,19 @@ using namespace crs;
 
 // Steady-state retired-instructions/s: one machine built up front, each
 // iteration runs a fixed instruction chunk (the workload restarts in-place
-// when it halts, like a looping service). Arg(1)/Arg(0) toggle the decode
-// cache so the on/off speedup is tracked by the same benchmark.
+// when it halts, like a looping service). The argument selects the engine
+// tier so the perf-smoke gate can form ratios from one benchmark:
+//   0 = interpreter, decode cache off (the pre-PR-1 baseline)
+//   1 = interpreter, decode cache on  (the blocks denominator)
+//   2 = threaded-code block engine
 void BM_CpuThroughput(benchmark::State& state) {
   workloads::WorkloadOptions opt;
   opt.scale = 100000;
   const auto prog = workloads::build_workload("bitcount", opt);
   sim::MachineConfig mc;
   mc.cpu.decode_cache = state.range(0) != 0;
+  mc.cpu.exec_engine =
+      state.range(0) == 2 ? sim::ExecEngine::kBlocks : sim::ExecEngine::kInterp;
   sim::Machine machine(mc);
   sim::Kernel kernel(machine);
   kernel.register_binary("/bin/w", prog);
@@ -41,9 +47,40 @@ void BM_CpuThroughput(benchmark::State& state) {
   state.SetItemsProcessed(executed);
 }
 BENCHMARK(BM_CpuThroughput)
+    ->Arg(2)
     ->Arg(1)
     ->Arg(0)
     ->Unit(benchmark::kMillisecond);
+
+// Block-translation cost (blocks/s) and steady-state hit rate. Each
+// iteration dirties the hot page's version (a same-value byte write) so the
+// next acquire takes the full guard-miss retranslation path — the cost a
+// self-modifying store or fence-pass rewrite inflicts at runtime.
+void BM_BlockTranslation(benchmark::State& state) {
+  workloads::WorkloadOptions opt;
+  opt.scale = 100000;
+  const auto prog = workloads::build_workload("bitcount", opt);
+  sim::MachineConfig mc;
+  mc.cpu.exec_engine = sim::ExecEngine::kBlocks;  // immune to CRS_EXEC
+  sim::Machine machine(mc);
+  sim::Kernel kernel(machine);
+  kernel.register_binary("/bin/w", prog);
+  kernel.start_with_strings("/bin/w", {"w"});
+  kernel.run(50'000);  // warm the block cache over the hot loop
+  sim::BlockCache* cache = machine.cpu().block_cache();
+  const std::uint64_t entry = kernel.main_image().lo;
+  for (auto _ : state) {
+    machine.memory().write_u8(entry, machine.memory().read_u8(entry));
+    benchmark::DoNotOptimize(cache->acquire(entry));
+  }
+  state.SetItemsProcessed(state.iterations());
+  const auto& stats = cache->stats();
+  state.counters["hit_rate"] = benchmark::Counter(
+      static_cast<double>(stats.hits) /
+      static_cast<double>(stats.hits + stats.translations +
+                          stats.retranslations));
+}
+BENCHMARK(BM_BlockTranslation);
 
 // Thread-count sweep over the parallel experiment runner: a small benign
 // corpus build (windows/s). Identical output for every Arg by construction;

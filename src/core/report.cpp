@@ -3,7 +3,10 @@
 #include <fstream>
 
 #include "hid/features.hpp"
+#include "sim/cpu.hpp"
 #include "support/error.hpp"
+#include "support/memo.hpp"
+#include "support/parallel.hpp"
 #include "support/strings.hpp"
 
 namespace crs::core {
@@ -42,6 +45,19 @@ std::string campaign_to_csv(const CampaignResult& result) {
     out += std::to_string(a.attack_window_count) + ',';
     out += '"' + a.params.describe() + "\"\n";
   }
+  return out;
+}
+
+std::string bench_config_json(const std::string& mitigations) {
+  std::string out = "{\"threads\":";
+  out += std::to_string(resolve_thread_count());
+  out += ",\"snapshot\":\"";
+  out += fast_reset_enabled() ? "on" : "off";
+  out += "\",\"exec\":\"";
+  out += sim::exec_engine_name(sim::default_exec_engine());
+  out += "\",\"mitigations\":\"";
+  out += mitigations.empty() ? "none" : mitigations;
+  out += "\"}";
   return out;
 }
 

@@ -21,4 +21,13 @@ std::string campaign_to_csv(const CampaignResult& result);
 /// Writes `content` to `path`; throws crs::Error on I/O failure.
 void write_text_file(const std::string& path, const std::string& content);
 
+/// The run-configuration object every --bench-json reporter embeds as
+/// `"config":{...}`: worker-thread count, snapshot fast-reset engine,
+/// execution engine, and mitigation preset, all sampled from the
+/// process-wide state at emit time so perf records from crsim, crs_matrix
+/// and the micro benches stay comparable without each tool re-deriving the
+/// context. Pass the serialized mitigation set when one is armed; empty
+/// means "none".
+std::string bench_config_json(const std::string& mitigations = "");
+
 }  // namespace crs::core

@@ -142,13 +142,26 @@ std::string check_invariants(sim::Machine& machine) {
 std::vector<ExecConfig> standard_configs(bool timing_blind) {
   std::vector<ExecConfig> configs;
   {
+    // Baseline: the threaded-code block engine, pinned explicitly so the
+    // cross-engine oracle below holds even when CRS_EXEC flips the process
+    // default. Every program in every corpus is crossed against the
+    // interpreter — the block translator's bit-identity gate.
     ExecConfig c;
-    c.name = "dcache-on";
+    c.name = "blocks";
+    c.machine.cpu.exec_engine = sim::ExecEngine::kBlocks;
     configs.push_back(c);
   }
   {
     ExecConfig c;
-    c.name = "dcache-off";
+    c.name = "interp";
+    c.machine.cpu.exec_engine = sim::ExecEngine::kInterp;
+    configs.push_back(c);
+  }
+  {
+    // The PR-1 decode-cache oracle, now under the engine that uses it.
+    ExecConfig c;
+    c.name = "interp-dcache-off";
+    c.machine.cpu.exec_engine = sim::ExecEngine::kInterp;
     c.machine.cpu.decode_cache = false;
     configs.push_back(c);
   }
@@ -448,7 +461,8 @@ std::optional<Divergence> check_parallel_batch(std::uint64_t base_seed,
     smc.push_back(prog.uses_smc);
   }
   ExecConfig base;
-  base.name = "dcache-on";
+  base.name = "blocks";
+  base.machine.cpu.exec_engine = sim::ExecEngine::kBlocks;
 
   std::vector<ExecResult> serial;
   serial.reserve(programs.size());

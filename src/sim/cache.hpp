@@ -71,6 +71,18 @@ class CacheLevel {
     return access_search(addr);
   }
 
+  /// Credits `n` deferred accesses that are guaranteed memo hits. The
+  /// threaded-code block engine batches consecutive instruction fetches of
+  /// one line: only fetches ever touch the L1I mid-block, and the full
+  /// access() that opened the line memoized it, so each deferred access
+  /// would have taken the memo path above. Leaves the level in exactly the
+  /// state n eager access() calls would have produced.
+  void access_repeat_hits(std::uint64_t n) {
+    use_counter_ += n;
+    mru_way_->lru = use_counter_;
+    if constexpr (obs::kEnabled) stats_.hits += n;
+  }
+
   /// True when the line is resident. No state change (for tests/debug).
   bool probe(std::uint64_t addr) const;
 
@@ -194,6 +206,9 @@ class MemoryHierarchy {
                   (l2_hit ? 0 : config_.timings.memory / 4);
     return out;
   }
+
+  /// Batched same-line fetch hits (see CacheLevel::access_repeat_hits).
+  void fetch_repeat_hits(std::uint64_t n) { l1i_.access_repeat_hits(n); }
 
   /// clflush semantics: evict the data line everywhere.
   void flush_data(std::uint64_t addr);

@@ -1,8 +1,13 @@
 #include "sim/cpu.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 #include "obs/trace.hpp"
+#include "sim/block_cache.hpp"
+#include "sim/block_exec.hpp"
 #include "support/error.hpp"
 
 namespace crs::sim {
@@ -11,6 +16,42 @@ using isa::Instruction;
 using isa::Opcode;
 using isa::OpClass;
 
+namespace {
+
+int initial_exec_engine() {
+  const char* env = std::getenv("CRS_EXEC");
+  if (env != nullptr && std::strcmp(env, "interp") == 0) return 0;
+  return 1;
+}
+
+std::atomic<int>& exec_engine_state() {
+  static std::atomic<int> s{initial_exec_engine()};
+  return s;
+}
+
+}  // namespace
+
+ExecEngine default_exec_engine() {
+  return exec_engine_state().load(std::memory_order_relaxed) == 0
+             ? ExecEngine::kInterp
+             : ExecEngine::kBlocks;
+}
+
+void set_default_exec_engine(ExecEngine engine) {
+  exec_engine_state().store(engine == ExecEngine::kInterp ? 0 : 1,
+                            std::memory_order_relaxed);
+}
+
+const char* exec_engine_name(ExecEngine engine) {
+  return engine == ExecEngine::kInterp ? "interp" : "blocks";
+}
+
+std::optional<ExecEngine> parse_exec_engine(std::string_view name) {
+  if (name == "interp") return ExecEngine::kInterp;
+  if (name == "blocks") return ExecEngine::kBlocks;
+  return std::nullopt;
+}
+
 Cpu::Cpu(Memory& memory, MemoryHierarchy& hierarchy,
          BranchPredictor& predictor, Pmu& pmu, const CpuConfig& config)
     : memory_(memory),
@@ -18,7 +59,14 @@ Cpu::Cpu(Memory& memory, MemoryHierarchy& hierarchy,
       predictor_(predictor),
       pmu_(pmu),
       config_(config),
-      dcache_(memory) {}
+      dcache_(memory) {
+  if (config_.exec_engine == ExecEngine::kBlocks) {
+    bcache_ = std::make_unique<BlockCache>(memory, config_.mul_latency,
+                                           config_.div_latency);
+  }
+}
+
+Cpu::~Cpu() = default;
 
 void Cpu::reset(std::uint64_t entry_pc, std::uint64_t stack_top) {
   for (auto& r : regs_) r = 0;
@@ -406,8 +454,11 @@ void Cpu::exec_misc(const Instruction& instr) {
       }
       hierarchy_.flush_data(ea);
       // Flushing a mapped code line also drops its pre-decoded state; the
-      // next fetch from that page re-decodes from memory.
+      // next fetch from that page re-decodes (and re-translates) from
+      // memory. Safe here: clflush never executes inside a translated
+      // block, so no live block storage is dropped.
       dcache_.invalidate(ea);
+      if (bcache_ != nullptr) bcache_->invalidate(ea);
       pmu_.add(Event::kClflushes);
       cycle_ += hierarchy_.timings().flush_cost;
       pc_ += isa::kInstructionSize;
@@ -526,6 +577,9 @@ StopReason Cpu::run(std::uint64_t max_instructions) {
 
 StopReason Cpu::run_until_cycle(std::uint64_t cycle_target,
                                 std::uint64_t max_instructions) {
+  if (bcache_ != nullptr) {
+    return BlockExecutor::run(*this, cycle_target, max_instructions);
+  }
   const std::uint64_t start_retired = retired_;
   while (!halted_) {
     if (retired_ - start_retired >= max_instructions)

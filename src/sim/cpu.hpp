@@ -25,7 +25,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "isa/isa.hpp"
@@ -36,6 +38,30 @@
 #include "sim/pmu.hpp"
 
 namespace crs::sim {
+
+class BlockCache;
+class BlockExecutor;
+
+/// How the CPU executes the architectural instruction stream. Both engines
+/// are bit-identical (registers, memory, PMU, cycles, faults, speculation
+/// episodes); blocks is a pure simulator-speed optimisation.
+enum class ExecEngine : std::uint8_t {
+  kInterp = 0,  ///< per-instruction fetch/classify/dispatch (Cpu::step)
+  kBlocks = 1,  ///< threaded-code superblocks (sim/block_exec)
+};
+
+/// Process-wide default for `CpuConfig::exec_engine`, the value every
+/// default-constructed config picks up. Wired to the tools' `--exec` flag
+/// (beats the `CRS_EXEC=interp|blocks` env var); set it before building
+/// machines. Mirrors `crs::set_fast_reset_enabled`.
+ExecEngine default_exec_engine();
+void set_default_exec_engine(ExecEngine engine);
+
+/// "interp" / "blocks" — the spelling used by flags and bench records.
+const char* exec_engine_name(ExecEngine engine);
+
+/// Parses the `--exec` flag spelling; nullopt when unknown.
+std::optional<ExecEngine> parse_exec_engine(std::string_view name);
 
 struct CpuConfig {
   /// Maximum wrong-path instructions per misprediction episode (ROB-ish).
@@ -59,6 +85,11 @@ struct CpuConfig {
   /// never change architectural or PMU-visible behaviour (page-version
   /// invalidation preserves self-modifying-code and DEP semantics).
   bool decode_cache = true;
+  /// Execution engine for `run`/`run_until_cycle`. Defaults to the
+  /// process-wide `default_exec_engine()` (blocks unless overridden by
+  /// `--exec=interp` / CRS_EXEC). `step()` always interprets — the block
+  /// engine falls back to it for serialising and unaligned fetches.
+  ExecEngine exec_engine = default_exec_engine();
 
   // --- speculative-execution mitigations (src/mitigate) ------------------
   /// Honor fence hints planted on conditional branches by the
@@ -114,6 +145,7 @@ class Cpu {
 
   Cpu(Memory& memory, MemoryHierarchy& hierarchy, BranchPredictor& predictor,
       Pmu& pmu, const CpuConfig& config = {});
+  ~Cpu();
 
   /// Clears registers, sets pc/sp, clears fault & halt. Does NOT reset the
   /// caches, predictor or PMU — those persist across execve, as on real
@@ -167,11 +199,18 @@ class Cpu {
   const CpuConfig& config() const { return config_; }
   const DecodeCache& decode_cache() const { return dcache_; }
 
+  /// Translated-block cache; null when the engine is kInterp.
+  const BlockCache* block_cache() const { return bcache_.get(); }
+  BlockCache* block_cache() { return bcache_.get(); }
+
  private:
   // Checkpoint/restore (sim/snapshot.cpp) saves the registers and the
   // counters that Cpu::reset deliberately leaves alone (cycle_, retired_,
   // spec_episodes_, mstats_).
   friend class SnapshotAccess;
+  // The threaded-code engine (sim/block_exec.cpp) is the interpreter's
+  // other half: it shares the exec_* helpers and the scoreboard state.
+  friend class BlockExecutor;
 
   // -- architectural execution helpers ------------------------------------
   // exec_alu covers >90% of a typical instruction stream; forcing it (and
@@ -214,6 +253,7 @@ class Cpu {
   Pmu& pmu_;
   CpuConfig config_;
   DecodeCache dcache_;
+  std::unique_ptr<BlockCache> bcache_;  ///< non-null iff exec_engine==kBlocks
 
   std::uint64_t regs_[isa::kNumRegisters] = {};
   std::uint64_t reg_ready_[isa::kNumRegisters] = {};

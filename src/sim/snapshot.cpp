@@ -197,6 +197,7 @@ std::uint64_t hash_machine_config(const MachineConfig& config) {
       .u32(c.mul_latency)
       .u32(c.div_latency)
       .b(c.decode_cache)
+      .b(c.exec_engine == ExecEngine::kBlocks)
       .b(c.honor_fence_hints)
       .b(c.slh)
       .b(c.no_indirect_speculation);

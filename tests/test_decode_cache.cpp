@@ -82,7 +82,11 @@ TEST(DecodeCache, RepeatLookupsHitWithoutRedecoding) {
 // clflush of a line in the (mapped, executing) code page drops the page's
 // decoded state: every post-flush fetch re-decodes.
 TEST(DecodeCache, ClflushOfCodePageForcesRedecode) {
-  sim::Machine machine;
+  // Pin the interpreter: the stat expectations below count per-step decode
+  // cache traffic, which the block engine intentionally bypasses.
+  sim::MachineConfig mc;
+  mc.cpu.exec_engine = sim::ExecEngine::kInterp;
+  sim::Machine machine(mc);
   auto& mem = machine.memory();
   const std::uint64_t base = 0x1000;
   mem.set_permissions(base, Memory::kPageSize, sim::kPermRX);

@@ -10,7 +10,15 @@ against the checked-in baseline (bench/baselines/perf_smoke.json):
     below the baseline value;
   * BM_CampaignThroughput/1 (snapshot fast path) must stay at least
     min_ratio_snapshot_over_legacy times BM_CampaignThroughput/0 (legacy
-    rebuild path) -- the machine-independent guard.
+    rebuild path) -- the machine-independent guard;
+  * every entry of min_ratios ({"name", "numerator", "denominator",
+    "floor"}) must hold: measured items_per_s of numerator over denominator
+    at least floor. The blocks-vs-interp gate (BM_CpuThroughput/2 over
+    BM_CpuThroughput/1 >= 2.5x) lives here.
+
+Ratio gates are skipped (not failed) when either side is absent from the
+measured file, so partial bench runs can still be checked against the
+benchmarks they did produce.
 
 Exit status 0 on pass, 1 on any violation. Stdlib only.
 """
@@ -64,18 +72,33 @@ def main():
                 f"{floor:.1f} ({max_drop:.0%} under baseline "
                 f"{expect['items_per_s']:.1f})")
 
+    ratio_gates = []
     min_ratio = float(baseline.get("min_ratio_snapshot_over_legacy", 0.0))
-    snap = measured.get("BM_CampaignThroughput/1")
-    legacy = measured.get("BM_CampaignThroughput/0")
-    if min_ratio > 0.0 and snap is not None and legacy is not None:
-        ratio = snap / legacy if legacy > 0.0 else float("inf")
-        verdict = "ok" if ratio >= min_ratio else "REGRESSED"
-        print(f"snapshot/legacy throughput ratio: {ratio:.2f}x "
-              f"(floor {min_ratio:.2f}x) {verdict}")
-        if ratio < min_ratio:
+    if min_ratio > 0.0:
+        ratio_gates.append({
+            "name": "snapshot/legacy",
+            "numerator": "BM_CampaignThroughput/1",
+            "denominator": "BM_CampaignThroughput/0",
+            "floor": min_ratio,
+        })
+    ratio_gates.extend(baseline.get("min_ratios", []))
+
+    for gate in ratio_gates:
+        num = measured.get(gate["numerator"])
+        den = measured.get(gate["denominator"])
+        floor = float(gate["floor"])
+        if num is None or den is None:
+            print(f"{gate['name']} throughput ratio: skipped "
+                  f"(missing {gate['numerator'] if num is None else gate['denominator']})")
+            continue
+        ratio = num / den if den > 0.0 else float("inf")
+        verdict = "ok" if ratio >= floor else "REGRESSED"
+        print(f"{gate['name']} throughput ratio: {ratio:.2f}x "
+              f"(floor {floor:.2f}x) {verdict}")
+        if ratio < floor:
             failures.append(
-                f"snapshot path is only {ratio:.2f}x the legacy rebuild "
-                f"path (floor {min_ratio:.2f}x)")
+                f"{gate['name']}: {gate['numerator']} is only {ratio:.2f}x "
+                f"{gate['denominator']} (floor {floor:.2f}x)")
 
     if failures:
         print("\nperf-smoke FAILED:", file=sys.stderr)

@@ -2,7 +2,8 @@
 //
 //   crs_fuzz [--seed S] [--iters N | --seconds T] [--corpus DIR]
 //            [--max-instructions M] [--attack-every K] [--threads N]
-//            [--no-smc] [--no-pivot] [--no-perturb] [--max-repros R]
+//            [--exec interp|blocks] [--no-smc] [--no-pivot] [--no-perturb]
+//            [--max-repros R]
 //   crs_fuzz --update-golden [DIR]     regenerate tests/golden CSVs
 //   crs_fuzz --check-golden  [DIR]     diff live scenarios vs checked-in CSVs
 //   crs_fuzz --check-trace <file.json> validate a Chrome trace_event JSON
@@ -33,6 +34,7 @@
 #include "fuzz/golden.hpp"
 #include "fuzz/minimize.hpp"
 #include "obs/trace.hpp"
+#include "sim/cpu.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
 
@@ -71,8 +73,8 @@ int usage() {
       stderr,
       "usage: crs_fuzz [--seed S] [--iters N | --seconds T] [--corpus DIR]\n"
       "                [--max-instructions M] [--attack-every K] [--threads N]\n"
-      "                [--parallel-batch B] [--max-repros R]\n"
-      "                [--no-smc] [--no-pivot] [--no-perturb]\n"
+      "                [--exec interp|blocks] [--parallel-batch B]\n"
+      "                [--max-repros R] [--no-smc] [--no-pivot] [--no-perturb]\n"
       "       crs_fuzz --update-golden [DIR]\n"
       "       crs_fuzz --check-golden [DIR]\n"
       "       crs_fuzz --check-trace <file.json>\n");
@@ -113,6 +115,22 @@ bool parse_args(int argc, char** argv, Options& opt) {
       std::uint64_t r = 0;
       if (!next(r)) return false;
       opt.max_repros = static_cast<int>(r);
+    } else if (a == "--exec" || a.rfind("--exec=", 0) == 0) {
+      // Sets the default engine for machines the differ does not pin
+      // explicitly (golden traces, scenario replay, the attack-leak base).
+      std::string v;
+      if (a == "--exec") {
+        if (i + 1 >= argc) return false;
+        v = argv[++i];
+      } else {
+        v = a.substr(7);
+      }
+      const auto engine = sim::parse_exec_engine(v);
+      if (!engine) {
+        std::fprintf(stderr, "crs_fuzz: --exec wants 'interp' or 'blocks'\n");
+        return false;
+      }
+      sim::set_default_exec_engine(*engine);
     } else if (a == "--no-smc") {
       opt.allow_smc = false;
     } else if (a == "--no-pivot") {

@@ -17,6 +17,10 @@
 //   crs_matrix --snapshot on|off      snapshot/memo fast-reset engine
 //                                     (default on; off = legacy rebuild of
 //                                     every machine and binary per attempt)
+//   crs_matrix --exec interp|blocks   execution engine for every simulated
+//                                     machine in the sweep (default blocks;
+//                                     results identical for either — the
+//                                     engines are bit-identical)
 //   crs_matrix --bench-json <path>    append a perf record for the sweep
 //
 // Sweeps {spectre-pht, spectre-rsb, cr-spectre} × {mitigation presets} and
@@ -31,6 +35,7 @@
 
 #include "core/defense_matrix.hpp"
 #include "core/report.hpp"
+#include "sim/cpu.hpp"
 #include "support/error.hpp"
 #include "support/memo.hpp"
 #include "support/parallel.hpp"
@@ -45,7 +50,7 @@ int usage(const char* argv0) {
                "usage: %s [--quick] [--check] [--presets a,b,c] "
                "[--attempts N] [--seed S] [--csv <path>] [--json <path>] "
                "[--metrics <path>] [--threads N] [--snapshot on|off] "
-               "[--bench-json <path>]\n",
+               "[--exec interp|blocks] [--bench-json <path>]\n",
                argv0);
   return 2;
 }
@@ -57,6 +62,14 @@ void apply_snapshot_flag(const std::string& value) {
     set_fast_reset_enabled(false);
   } else {
     throw Error("--snapshot wants 'on' or 'off', got '" + value + "'");
+  }
+}
+
+void apply_exec_flag(const std::string& value) {
+  if (const auto engine = sim::parse_exec_engine(value)) {
+    sim::set_default_exec_engine(*engine);
+  } else {
+    throw Error("--exec wants 'interp' or 'blocks', got '" + value + "'");
   }
 }
 
@@ -162,6 +175,10 @@ int main(int argc, char** argv) {
         apply_snapshot_flag(next());
       } else if (flag.rfind("--snapshot=", 0) == 0) {
         apply_snapshot_flag(flag.substr(11));
+      } else if (flag == "--exec") {
+        apply_exec_flag(next());
+      } else if (flag.rfind("--exec=", 0) == 0) {
+        apply_exec_flag(flag.substr(7));
       } else {
         std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
         return usage(argv[0]);
@@ -189,13 +206,20 @@ int main(int argc, char** argv) {
     }
     if (!bench_json_path.empty()) {
       if (std::FILE* f = std::fopen(bench_json_path.c_str(), "a")) {
+        // The sweep spans presets, so the config's mitigation field records
+        // the sweep set rather than a single armed preset.
+        std::string presets;
+        for (const auto& p : result.presets) {
+          if (!presets.empty()) presets += ',';
+          presets += p;
+        }
         std::fprintf(f,
                      "{\"name\":\"crs_matrix:%s\",\"wall_ms\":%.3f,"
-                     "\"items_per_s\":%.3f,\"snapshot\":\"%s\"}\n",
+                     "\"items_per_s\":%.3f,\"config\":%s}\n",
                      config.quick ? "quick" : "full", wall_ms,
                      static_cast<double>(result.cells.size()) /
                          (wall_ms / 1e3),
-                     fast_reset_enabled() ? "on" : "off");
+                     core::bench_config_json(presets).c_str());
         std::fclose(f);
       }
     }

@@ -20,6 +20,11 @@
 //                                    runs repeated attempts (off = legacy
 //                                    rebuild-everything path); recorded in
 //                                    the --bench-json line
+//   crsim --exec interp|blocks ...   pick the execution engine: the
+//                                    per-instruction interpreter or the
+//                                    threaded-code block engine (default;
+//                                    bit-identical, ~3x faster); recorded
+//                                    in the --bench-json line
 //
 // The runtime library (print/exit_/memcpy/... and the gadget-donating
 // helpers) is linked in automatically, exactly as for the built-in
@@ -38,6 +43,7 @@
 #include "mitigate/config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/cpu.hpp"
 #include "sim/kernel.hpp"
 #include "support/error.hpp"
 #include "support/memo.hpp"
@@ -53,6 +59,14 @@ void apply_snapshot_flag(const std::string& value) {
     crs::set_fast_reset_enabled(false);
   } else {
     throw crs::Error("--snapshot wants 'on' or 'off', got '" + value + "'");
+  }
+}
+
+void apply_exec_flag(const std::string& value) {
+  if (const auto engine = crs::sim::parse_exec_engine(value)) {
+    crs::sim::set_default_exec_engine(*engine);
+  } else {
+    throw crs::Error("--exec wants 'interp' or 'blocks', got '" + value + "'");
   }
 }
 
@@ -75,7 +89,7 @@ int main(int argc, char** argv) {
                  "usage: crsim [--disasm] [--threads N] [--bench-json <path>] "
                  "[--trace <out.json>] [--metrics <out.csv>] "
                  "[--mitigations <preset|flags>] [--snapshot on|off] "
-                 "<prog.s> [args...]\n"
+                 "[--exec interp|blocks] <prog.s> [args...]\n"
                  "       assembles with the runtime library and runs the "
                  "program on the simulator\n");
     return 2;
@@ -111,6 +125,11 @@ int main(int argc, char** argv) {
         apply_snapshot_flag(next(flag));
       } else if (flag.rfind("--snapshot=", 0) == 0) {
         apply_snapshot_flag(flag.substr(11));
+        ++argi;
+      } else if (flag == "--exec") {
+        apply_exec_flag(next(flag));
+      } else if (flag.rfind("--exec=", 0) == 0) {
+        apply_exec_flag(flag.substr(7));
         ++argi;
       } else if (flag == "--threads") {
         set_thread_override(static_cast<unsigned>(
@@ -231,11 +250,14 @@ int main(int argc, char** argv) {
       if (std::FILE* f = std::fopen(json_path.c_str(), "a")) {
         std::fprintf(f,
                      "{\"name\":\"crsim:%s\",\"wall_ms\":%.3f,"
-                     "\"items_per_s\":%.3f,\"snapshot\":\"%s\"}\n",
+                     "\"items_per_s\":%.3f,\"config\":%s}\n",
                      path.c_str(), wall_ms,
                      static_cast<double>(machine.cpu().retired()) /
                          (wall_ms / 1e3),
-                     fast_reset_enabled() ? "on" : "off");
+                     core::bench_config_json(mitigations.any()
+                                                 ? mitigations.serialize()
+                                                 : "")
+                         .c_str());
         std::fclose(f);
       }
     }
