@@ -177,9 +177,15 @@ CampaignResult run_campaign(const CampaignConfig& config,
     // Summary emission happens after the index-ordered collection, on the
     // calling thread, so it is identical to the serial campaign's.
     std::uint64_t acc_cycles = 0;
-    for (const auto& record : result.attempts) {
-      record_attempt_observability(record, acc_cycles);
+    std::size_t kept = result.attempts.size();
+    for (std::size_t i = 0; i < result.attempts.size(); ++i) {
+      record_attempt_observability(result.attempts[i], acc_cycles);
+      if (config.on_attempt && !config.on_attempt(result.attempts[i])) {
+        kept = i + 1;  // cancelled: drop the not-yet-reported tail
+        break;
+      }
     }
+    result.attempts.resize(kept);
     return result;
   }
 
@@ -204,6 +210,9 @@ CampaignResult run_campaign(const CampaignConfig& config,
     }
     record_attempt_observability(record, acc_cycles);
     result.attempts.push_back(record);
+    if (config.on_attempt && !config.on_attempt(result.attempts.back())) {
+      break;  // cancelled mid-campaign
+    }
   }
   return result;
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -25,6 +26,8 @@
 #include "perturb/perturb.hpp"
 
 namespace crs::core {
+
+struct AttemptRecord;
 
 struct CampaignConfig {
   ScenarioConfig scenario;
@@ -36,6 +39,16 @@ struct CampaignConfig {
   double detect_threshold = 0.80;  ///< paper: detected when >80%
   double evade_threshold = 0.55;   ///< paper: evaded when <=55%
   std::uint64_t seed = 5;
+
+  /// Serial observer called once per attempt, in attempt order, after the
+  /// record is folded (for the offline parallel batch: after the
+  /// index-ordered collection, so hook order matches the serial campaign).
+  /// Returning false stops the campaign early — the result keeps the
+  /// attempts recorded so far. The campaign service streams progress frames
+  /// and implements mid-flight cancellation through this hook; it must not
+  /// mutate state the attempts read, and it does not participate in the
+  /// result's determinism contract.
+  std::function<bool(const AttemptRecord&)> on_attempt;
 };
 
 struct AttemptRecord {

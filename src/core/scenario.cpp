@@ -296,11 +296,24 @@ std::uint64_t hash_scenario_config(const ScenarioConfig& c) {
   return h.digest();
 }
 
+namespace {
+// Per-thread override for the session-cache size (0 = default). Each live
+// session holds a 16 MB machine, so the default stays small; serve shards
+// raise it to their routed-config count.
+thread_local std::size_t session_cache_capacity = 0;
+}  // namespace
+
+void set_session_cache_capacity(std::size_t capacity) {
+  session_cache_capacity = capacity;
+}
+
 ScenarioSession& thread_session(const ScenarioConfig& config) {
-  // Each live session holds a 16 MB machine (plus program copies), so the
-  // per-thread cache stays small; campaign drivers key sessions per cell,
-  // and a thread rarely interleaves more than a few cells.
-  constexpr std::size_t kCapacity = 4;
+  // Campaign drivers key sessions per cell, and a thread rarely interleaves
+  // more than a few cells; the serve shards override this per worker.
+  const std::size_t capacity =
+      std::max<std::size_t>(1, session_cache_capacity != 0
+                                   ? session_cache_capacity
+                                   : 4);
   struct Entry {
     std::uint64_t key = 0;
     std::uint64_t last_use = 0;
@@ -317,7 +330,14 @@ ScenarioSession& thread_session(const ScenarioConfig& config) {
       return *e.session;
     }
   }
-  if (cache.size() >= kCapacity) {
+  while (cache.size() > capacity) {  // capacity was lowered mid-thread
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < cache.size(); ++i) {
+      if (cache[i].last_use < cache[victim].last_use) victim = i;
+    }
+    cache.erase(cache.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  if (cache.size() >= capacity) {
     std::size_t victim = 0;
     for (std::size_t i = 1; i < cache.size(); ++i) {
       if (cache[i].last_use < cache[victim].last_use) victim = i;

@@ -156,6 +156,13 @@ std::uint64_t hash_scenario_config(const ScenarioConfig& config);
 /// are identical for any CRS_THREADS.
 ScenarioSession& thread_session(const ScenarioConfig& config);
 
+/// Sets the calling thread's session-cache capacity (default 4; clamped to
+/// at least 1). Worker shards of the campaign service raise it so a shard
+/// can keep every config routed to it warm; campaign drivers keep the small
+/// default. Takes effect on the next thread_session call and evicts down
+/// immediately if lowered.
+void set_session_cache_capacity(std::size_t capacity);
+
 /// Populates the workload/plan/attack memo caches for `config` on the
 /// calling thread (no-op when fast reset is off). Campaign drivers warm the
 /// caches once on the main thread before fanning out, so build work — and

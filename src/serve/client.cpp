@@ -1,0 +1,119 @@
+#include "serve/client.hpp"
+
+#include "support/error.hpp"
+
+namespace crs::serve {
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(crs::connect_unix(path));
+}
+
+Client Client::connect_tcp(std::uint16_t port) {
+  return Client(connect_tcp_loopback(port));
+}
+
+void Client::submit(const core::JobSpec& spec) {
+  const std::string frame =
+      encode_frame(FrameType::kSubmit, core::serialize_job(spec));
+  sock_.send_all(frame.data(), frame.size());
+}
+
+void Client::cancel(std::uint64_t id) {
+  const std::string frame =
+      encode_frame(FrameType::kCancel, encode_accepted({.id = id}));
+  sock_.send_all(frame.data(), frame.size());
+}
+
+void Client::ping() {
+  const std::string frame = encode_frame(FrameType::kPing, "");
+  sock_.send_all(frame.data(), frame.size());
+}
+
+void Client::request_shutdown() {
+  const std::string frame = encode_frame(FrameType::kShutdown, "");
+  sock_.send_all(frame.data(), frame.size());
+}
+
+Client::Event Client::next_event() {
+  while (true) {
+    if (auto frame = decoder_.next()) {
+      Event ev;
+      ev.type = frame->type;
+      switch (frame->type) {
+        case FrameType::kAccepted: {
+          ev.id = parse_accepted(frame->payload).id;
+          break;
+        }
+        case FrameType::kRejected: {
+          const RejectedPayload p = parse_rejected(frame->payload);
+          ev.id = p.id;
+          ev.reason = p.reason;
+          ev.detail = p.detail;
+          break;
+        }
+        case FrameType::kProgress: {
+          const ProgressPayload p = parse_progress(frame->payload);
+          ev.id = p.id;
+          ev.progress = p.progress;
+          break;
+        }
+        case FrameType::kResult: {
+          ResultPayload p = parse_result(frame->payload);
+          ev.id = p.id;
+          ev.status = p.status;
+          ev.payload = std::move(p.payload);
+          break;
+        }
+        case FrameType::kPong:
+        case FrameType::kError:
+          ev.payload = frame->payload;
+          break;
+        default:
+          throw Error("client: unexpected " + frame_type_name(frame->type) +
+                      " frame from server");
+      }
+      return ev;
+    }
+    char buf[4096];
+    const std::size_t n = sock_.recv_some(buf, sizeof buf);
+    if (n == 0) throw Error("client: server closed the connection");
+    decoder_.feed(buf, n);
+  }
+}
+
+Client::JobResult Client::await_result(std::uint64_t id) {
+  JobResult result;
+  while (true) {
+    const Event ev = next_event();
+    if (ev.type == FrameType::kError) {
+      throw Error("client: server error: " + ev.payload);
+    }
+    if (ev.id != id) continue;
+    switch (ev.type) {
+      case FrameType::kAccepted:
+        result.accepted = true;
+        break;
+      case FrameType::kRejected:
+        result.accepted = false;
+        result.reject_reason = ev.reason;
+        result.reject_detail = ev.detail;
+        return result;
+      case FrameType::kProgress:
+        result.progress.push_back(ev.progress);
+        break;
+      case FrameType::kResult:
+        result.status = ev.status;
+        result.payload = ev.payload;
+        return result;
+      default:
+        break;
+    }
+  }
+}
+
+Client::JobResult Client::run(const core::JobSpec& spec) {
+  submit(spec);
+  return await_result(spec.id);
+}
+
+}  // namespace crs::serve

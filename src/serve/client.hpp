@@ -1,0 +1,75 @@
+// Blocking client for the campaign service.
+//
+// Thin by design: it owns one connection, pipelines any number of submits,
+// and surfaces every server frame as a typed Event in arrival order. The
+// convenience run() wrapper covers the common submit-and-wait case; the
+// load driver and tests drive submit()/next_event() directly to keep many
+// jobs in flight.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/job.hpp"
+#include "serve/protocol.hpp"
+#include "support/socket.hpp"
+
+namespace crs::serve {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(std::uint16_t port);
+
+  /// One server frame, decoded. Which fields are meaningful depends on
+  /// `type`: rejected -> reason/detail; progress -> progress; result ->
+  /// status/payload; pong/error -> payload only (error detail text).
+  struct Event {
+    FrameType type = FrameType::kError;
+    std::uint64_t id = 0;
+    std::string reason;
+    std::string detail;
+    core::JobProgress progress;
+    std::string status;
+    std::string payload;
+  };
+
+  /// Fire-and-forget submit; pair with next_event()/await_result().
+  void submit(const core::JobSpec& spec);
+  void cancel(std::uint64_t id);
+  void ping();
+  /// Asks the server to stop accepting and drain (the driver decides when
+  /// to actually exit).
+  void request_shutdown();
+
+  /// Blocks for the next server frame. Throws crs::Error on EOF or a
+  /// malformed stream.
+  Event next_event();
+
+  /// Everything a finished job produced, in order.
+  struct JobResult {
+    bool accepted = false;
+    std::string reject_reason;
+    std::string reject_detail;
+    std::vector<core::JobProgress> progress;
+    std::string status;  ///< ok | cancelled | failed (accepted jobs only)
+    std::string payload;
+  };
+
+  /// Drains events until job `id` reaches a terminal frame (REJECTED or
+  /// RESULT). Events for other ids are dispatched to nowhere — use the
+  /// event loop directly when pipelining.
+  JobResult await_result(std::uint64_t id);
+
+  /// submit + await_result.
+  JobResult run(const core::JobSpec& spec);
+
+ private:
+  explicit Client(Socket sock) : sock_(std::move(sock)) {}
+
+  Socket sock_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace crs::serve

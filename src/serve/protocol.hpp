@@ -1,0 +1,131 @@
+// The campaign service's wire protocol.
+//
+// Length-prefixed binary frames over a byte stream (Unix-domain socket or
+// loopback TCP). Every frame is:
+//
+//   offset 0   4 bytes   magic "CRSV"
+//   offset 4   1 byte    frame type (FrameType)
+//   offset 5   3 bytes   reserved, must be zero
+//   offset 8   4 bytes   payload length, unsigned little-endian
+//   offset 12  N bytes   payload
+//
+// The decoder is strict: wrong magic, an unknown type, a nonzero reserved
+// byte or an oversized length throws crs::Error immediately — a malformed
+// peer can never desynchronise the stream into half-parsed frames. A
+// truncated frame is not an error; the decoder just waits for more bytes.
+//
+// Payloads are `key=value` text lines (the same convention as the job
+// spec), except the Result frame which carries the batch-identical result
+// bytes raw after a `bytes=K` length line.
+//
+// Conversation:
+//   client  SUBMIT{job spec}  -> server ACCEPTED{id} | REJECTED{id,reason}
+//   server  PROGRESS{id,counters}...           (streamed while running)
+//   server  RESULT{id,status,payload}          (terminal, exactly once
+//                                               per accepted job)
+//   client  CANCEL{id}        -> job stops at its next progress boundary,
+//                                RESULT arrives with status=cancelled
+//   client  PING{}            -> server PONG{} (liveness probe)
+//   client  SHUTDOWN{}        -> server stops accepting, drains, exits
+//   server  ERROR{detail}     (protocol-level complaint, connection closes)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/job.hpp"
+
+namespace crs::serve {
+
+enum class FrameType : std::uint8_t {
+  kSubmit = 1,
+  kAccepted = 2,
+  kRejected = 3,
+  kProgress = 4,
+  kResult = 5,
+  kCancel = 6,
+  kShutdown = 7,
+  kPing = 8,
+  kPong = 9,
+  kError = 10,
+};
+
+std::string frame_type_name(FrameType type);
+bool frame_type_valid(std::uint8_t raw);
+
+inline constexpr char kFrameMagic[4] = {'C', 'R', 'S', 'V'};
+inline constexpr std::size_t kFrameHeaderSize = 12;
+/// Hard payload cap (16 MiB): large enough for any matrix CSV or fuzz
+/// program, small enough that a hostile length field cannot balloon memory.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Header + payload bytes, ready for Socket::send_all.
+std::string encode_frame(FrameType type, std::string_view payload);
+
+/// Incremental frame parser. feed() arbitrary byte chunks, then drain
+/// next() until it returns nullopt. Throws crs::Error the moment the
+/// stream is provably malformed.
+class FrameDecoder {
+ public:
+  void feed(const void* data, std::size_t len);
+  std::optional<Frame> next();
+
+  /// Bytes buffered but not yet consumed by complete frames.
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// --- Typed payloads -------------------------------------------------------
+
+struct AcceptedPayload {
+  std::uint64_t id = 0;
+};
+
+struct RejectedPayload {
+  std::uint64_t id = 0;
+  /// queue_full | bad_request | shutting_down
+  std::string reason;
+  std::string detail;  ///< human-readable amplification (may be empty)
+};
+
+struct ProgressPayload {
+  std::uint64_t id = 0;
+  core::JobProgress progress;
+};
+
+struct ResultPayload {
+  std::uint64_t id = 0;
+  /// ok | cancelled | failed. `failed` means the job was accepted but its
+  /// execution threw (e.g. a config the strict parser allows but the
+  /// runtime rejects); the payload then carries the error text.
+  std::string status = "ok";
+  /// Batch-identical result bytes (ok), error text (failed), empty
+  /// (cancelled).
+  std::string payload;
+
+  bool ok() const { return status == "ok"; }
+  bool cancelled() const { return status == "cancelled"; }
+};
+
+std::string encode_accepted(const AcceptedPayload& p);
+std::string encode_rejected(const RejectedPayload& p);
+std::string encode_progress(const ProgressPayload& p);
+std::string encode_result(const ResultPayload& p);
+
+/// All parsers are strict inverses; they throw crs::Error on anything
+/// malformed or missing.
+AcceptedPayload parse_accepted(std::string_view payload);
+RejectedPayload parse_rejected(std::string_view payload);
+ProgressPayload parse_progress(std::string_view payload);
+ResultPayload parse_result(std::string_view payload);
+
+}  // namespace crs::serve

@@ -1,0 +1,186 @@
+#include "support/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/error.hpp"
+
+namespace crs {
+
+namespace {
+
+[[noreturn]] void raise_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::send_all(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("send");
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::recv_some(void* data, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, len, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("recv");
+    }
+    return static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_exact(void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const std::size_t n = recv_some(p + got, len - got);
+    if (n == 0) {
+      if (got == 0) return false;
+      throw Error("connection closed mid-frame (" + std::to_string(got) +
+                  " of " + std::to_string(len) + " bytes)");
+    }
+    got += n;
+  }
+  return true;
+}
+
+void Socket::shutdown_both() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Socket listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("unix socket path too long: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) raise_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket file from a crashed server
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    raise_errno("bind('" + path + "')");
+  }
+  if (::listen(sock.fd(), backlog) != 0) raise_errno("listen('" + path + "')");
+  return sock;
+}
+
+Socket listen_tcp_loopback(std::uint16_t port, std::uint16_t& bound_port,
+                           int backlog) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) raise_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    raise_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(sock.fd(), backlog) != 0) raise_errno("listen(tcp)");
+
+  sockaddr_in got{};
+  socklen_t got_len = sizeof(got);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&got), &got_len) !=
+      0) {
+    raise_errno("getsockname");
+  }
+  bound_port = ntohs(got.sin_port);
+  return sock;
+}
+
+std::optional<Socket> accept_with_timeout(Socket& listener, int timeout_ms) {
+  pollfd pfd{listener.fd(), POLLIN, 0};
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      raise_errno("poll");
+    }
+    if (rc == 0) return std::nullopt;
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      raise_errno("accept");
+    }
+    // Harmless on AF_UNIX; on TCP it stops Nagle + delayed-ACK from adding
+    // ~40ms to every small response frame.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+  }
+}
+
+Socket connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw Error("unix socket path too long: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) raise_errno("socket(AF_UNIX)");
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    raise_errno("connect('" + path + "')");
+  }
+  return sock;
+}
+
+Socket connect_tcp_loopback(std::uint16_t port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) raise_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    raise_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  return sock;
+}
+
+}  // namespace crs

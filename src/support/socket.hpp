@@ -1,0 +1,68 @@
+// Minimal POSIX socket helpers for the campaign service (src/serve).
+//
+// Deliberately tiny: RAII over a file descriptor, loopback-TCP and
+// Unix-domain listeners/connectors, and exact-length send/receive. All
+// failures surface as crs::Error; EOF is an in-band return value because a
+// peer hanging up is normal protocol flow, not an error. Sends use
+// MSG_NOSIGNAL so a dead peer produces an Error instead of SIGPIPE killing
+// the server.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace crs {
+
+/// Move-only owner of a socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends the whole buffer (retrying short writes / EINTR). Throws on any
+  /// failure, including the peer having hung up.
+  void send_all(const void* data, std::size_t len);
+
+  /// Receives up to `len` bytes. Returns 0 only on orderly EOF.
+  std::size_t recv_some(void* data, std::size_t len);
+
+  /// Receives exactly `len` bytes; false when EOF arrives before any byte,
+  /// Error when the stream ends mid-buffer.
+  bool recv_exact(void* data, std::size_t len);
+
+  /// shutdown(SHUT_RDWR): wakes a peer (or our own reader) blocked in recv.
+  void shutdown_both();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on a Unix-domain socket, replacing any stale file at
+/// `path` (paths are limited to ~107 bytes by the ABI; longer throws).
+Socket listen_unix(const std::string& path, int backlog = 64);
+
+/// Binds + listens on 127.0.0.1:`port` (0 = ephemeral). The actual bound
+/// port is stored in `bound_port`.
+Socket listen_tcp_loopback(std::uint16_t port, std::uint16_t& bound_port,
+                           int backlog = 64);
+
+/// Waits up to `timeout_ms` for a connection; nullopt on timeout (so accept
+/// loops can poll a stop flag without blocking forever).
+std::optional<Socket> accept_with_timeout(Socket& listener, int timeout_ms);
+
+Socket connect_unix(const std::string& path);
+Socket connect_tcp_loopback(std::uint16_t port);
+
+}  // namespace crs

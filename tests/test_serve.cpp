@@ -1,0 +1,545 @@
+// Protocol + service tier for src/serve (DESIGN.md §12, docs/SERVING.md).
+//
+// Covers: frame round-trips under pathological chunking, strict decoder
+// rejection of malformed streams, job-spec serialization round-trips,
+// queue-full backpressure, graceful shutdown draining, mid-flight
+// cancellation, and the headline contract — a job served over the wire is
+// byte-identical to the batch CLI run of the same spec, for any
+// CRS_THREADS and any shard count.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/corpus.hpp"
+#include "core/job.hpp"
+#include "core/report.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "support/error.hpp"
+#include "support/parallel.hpp"
+#include "support/socket.hpp"
+
+namespace crs {
+namespace {
+
+using serve::Client;
+using serve::Frame;
+using serve::FrameDecoder;
+using serve::FrameType;
+using serve::ServeConfig;
+using serve::Server;
+
+core::JobSpec scenario_spec(std::uint64_t id, int attempts = 1) {
+  core::JobSpec spec;
+  spec.kind = core::JobKind::kScenario;
+  spec.id = id;
+  spec.scenario.config.rop_injected = false;
+  spec.scenario.config.host_scale = 900;
+  spec.scenario.config.secret = "WIRE";
+  spec.scenario.config.seed = 7;
+  spec.scenario.attempts = attempts;
+  return spec;
+}
+
+core::JobSpec campaign_spec(std::uint64_t id) {
+  core::JobSpec spec;
+  spec.kind = core::JobKind::kCampaign;
+  spec.id = id;
+  spec.campaign.config.scenario.rop_injected = false;
+  spec.campaign.config.scenario.host_scale = 700;
+  spec.campaign.config.scenario.secret = "CAMP";
+  spec.campaign.config.attempts = 4;
+  spec.campaign.config.seed = 11;
+  spec.campaign.corpus_windows = 12;
+  spec.campaign.corpus_seed = 3;
+  return spec;
+}
+
+core::JobSpec matrix_spec(std::uint64_t id) {
+  core::JobSpec spec;
+  spec.kind = core::JobKind::kMatrix;
+  spec.id = id;
+  spec.matrix.config.quick = true;
+  spec.matrix.config.presets = {"none", "slh"};
+  spec.matrix.config.host_scale = 1200;
+  spec.matrix.config.corpus_windows = 16;
+  return spec;
+}
+
+core::JobSpec program_spec(std::uint64_t id) {
+  core::JobSpec spec;
+  spec.kind = core::JobKind::kProgram;
+  spec.id = id;
+  spec.program.source =
+      "main:\n"
+      "  movi r1, 41\n"
+      "  addi r1, r1, 1\n"
+      "  call exit_\n";
+  return spec;
+}
+
+// --- Protocol -------------------------------------------------------------
+
+TEST(ServeProtocol, FrameRoundTripByteAtATime) {
+  const std::string payload = "id=1\nreason=queue_full\n";
+  const std::string wire = serve::encode_frame(FrameType::kRejected, payload);
+
+  FrameDecoder dec;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    dec.feed(wire.data() + i, 1);
+    EXPECT_FALSE(dec.next().has_value()) << "frame complete too early at " << i;
+  }
+  dec.feed(wire.data() + wire.size() - 1, 1);
+  const auto frame = dec.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kRejected);
+  EXPECT_EQ(frame->payload, payload);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(ServeProtocol, MultipleFramesOneFeed) {
+  std::string wire = serve::encode_frame(FrameType::kPing, "");
+  wire += serve::encode_frame(FrameType::kPong, "abc");
+  wire += serve::encode_frame(FrameType::kAccepted, "id=9\n");
+
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_EQ(dec.next()->type, FrameType::kPing);
+  EXPECT_EQ(dec.next()->payload, "abc");
+  EXPECT_EQ(serve::parse_accepted(dec.next()->payload).id, 9u);
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(ServeProtocol, DecoderRejectsBadMagic) {
+  FrameDecoder dec;
+  const std::string junk = "XXXXXXXXXXXXXXXX";
+  dec.feed(junk.data(), junk.size());
+  EXPECT_THROW(dec.next(), Error);
+}
+
+TEST(ServeProtocol, DecoderRejectsUnknownType) {
+  std::string wire = serve::encode_frame(FrameType::kPing, "");
+  wire[4] = 99;
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_THROW(dec.next(), Error);
+}
+
+TEST(ServeProtocol, DecoderRejectsNonzeroReserved) {
+  std::string wire = serve::encode_frame(FrameType::kPing, "");
+  wire[6] = 1;
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_THROW(dec.next(), Error);
+}
+
+TEST(ServeProtocol, DecoderRejectsOversizedLength) {
+  std::string wire = serve::encode_frame(FrameType::kPing, "");
+  wire[8] = wire[9] = wire[10] = wire[11] = static_cast<char>(0xFF);
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_THROW(dec.next(), Error);
+}
+
+TEST(ServeProtocol, TruncatedFrameJustWaits) {
+  const std::string wire = serve::encode_frame(FrameType::kPong, "payload");
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size() - 3);
+  EXPECT_FALSE(dec.next().has_value());  // incomplete, not an error
+  dec.feed(wire.data() + wire.size() - 3, 3);
+  EXPECT_EQ(dec.next()->payload, "payload");
+}
+
+TEST(ServeProtocol, ResultPayloadCarriesRawBytes) {
+  serve::ResultPayload in;
+  in.id = 42;
+  in.status = "ok";
+  // Deliberately key=value-shaped and newline-riddled: the raw body must
+  // survive untouched.
+  in.payload = "id=evil\nstatus=nope\n\x01\x02\xff raw";
+  const serve::ResultPayload out = serve::parse_result(encode_result(in));
+  EXPECT_EQ(out.id, 42u);
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(ServeProtocol, ParseResultRejectsLengthMismatch) {
+  std::string wire = "id=1\nstatus=ok\nbytes=5\nabc";
+  EXPECT_THROW(serve::parse_result(wire), Error);
+}
+
+// --- Job spec -------------------------------------------------------------
+
+TEST(ServeJobSpec, SerializeParseRoundTrip) {
+  for (const auto& spec :
+       {scenario_spec(3, 5), campaign_spec(4), matrix_spec(5),
+        program_spec(6)}) {
+    const std::string text = core::serialize_job(spec);
+    const core::JobSpec back = core::parse_job(text);
+    EXPECT_EQ(core::serialize_job(back), text);
+    EXPECT_EQ(back.id, spec.id);
+    EXPECT_EQ(back.kind, spec.kind);
+  }
+}
+
+TEST(ServeJobSpec, RoundTripPreservesDoubleBits) {
+  core::JobSpec spec = scenario_spec(1);
+  spec.scenario.config.profiler.noise_sigma = 0.1 + 0.2;  // not representable
+  const core::JobSpec back = core::parse_job(core::serialize_job(spec));
+  EXPECT_EQ(back.scenario.config.profiler.noise_sigma,
+            spec.scenario.config.profiler.noise_sigma);
+}
+
+TEST(ServeJobSpec, ParseRejectsGarbage) {
+  EXPECT_THROW(core::parse_job(""), Error);
+  EXPECT_THROW(core::parse_job("not a job\n"), Error);
+  EXPECT_THROW(core::parse_job("crs-job v1\nid=1\n"), Error);  // id before kind
+  EXPECT_THROW(core::parse_job("crs-job v1\nkind=sandwich\n"), Error);
+  EXPECT_THROW(
+      core::parse_job("crs-job v1\nkind=scenario\nnonsense_key=1\n"), Error);
+  EXPECT_THROW(
+      core::parse_job("crs-job v1\nkind=scenario\nvariant=spectre-nope\n"),
+      Error);
+  EXPECT_THROW(
+      core::parse_job("crs-job v1\nkind=scenario\nseed=twelve\n"), Error);
+  // Truncated program source.
+  EXPECT_THROW(
+      core::parse_job("crs-job v1\nkind=program\nprog.source=100\nshort\n"),
+      Error);
+}
+
+TEST(ServeJobSpec, AffinityKeyGroupsByConfig) {
+  const core::JobSpec a = scenario_spec(1);
+  core::JobSpec b = scenario_spec(2);  // same config, different id
+  EXPECT_EQ(core::job_affinity_key(a), core::job_affinity_key(b));
+  b.scenario.config.host_scale += 1;
+  EXPECT_NE(core::job_affinity_key(a), core::job_affinity_key(b));
+}
+
+// --- Served == batch byte-identity ---------------------------------------
+
+class ThreadOverrideGuard {
+ public:
+  ~ThreadOverrideGuard() { set_thread_override(0); }
+};
+
+TEST(ServeIdentity, ServedEqualsBatchForAnyThreadsAndShards) {
+  ThreadOverrideGuard guard;
+
+  // Reference bytes, computed in-process exactly as `crs_serve --oneshot`
+  // (the batch CLI twin) does.
+  set_thread_override(1);
+  const std::string scenario_ref = core::run_job(scenario_spec(0, 3)).payload;
+  const std::string campaign_ref = core::run_job(campaign_spec(0)).payload;
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_thread_override(threads);
+    for (const int shards : {1, 3}) {
+      ServeConfig scfg;
+      scfg.shards = shards;
+      scfg.queue_capacity = 16;
+      Server server(scfg);
+      server.start();
+      Client client = Client::connect_tcp(server.port());
+
+      const Client::JobResult s = client.run(scenario_spec(1, 3));
+      ASSERT_TRUE(s.accepted);
+      EXPECT_EQ(s.status, "ok");
+      EXPECT_EQ(s.payload, scenario_ref)
+          << "threads=" << threads << " shards=" << shards;
+
+      const Client::JobResult c = client.run(campaign_spec(2));
+      ASSERT_TRUE(c.accepted);
+      EXPECT_EQ(c.payload, campaign_ref)
+          << "threads=" << threads << " shards=" << shards;
+
+      server.shutdown(true);
+      const serve::ServeStats stats = server.stats();
+      EXPECT_EQ(stats.received, stats.accepted + stats.rejected);
+      EXPECT_EQ(stats.accepted, stats.completed + stats.cancelled);
+    }
+  }
+}
+
+TEST(ServeIdentity, MatrixPayloadEqualsBatchCsv) {
+  const core::JobSpec spec = matrix_spec(1);
+  // What `crs_matrix --csv` prints for this config.
+  const std::string batch_csv =
+      core::matrix_csv(core::run_defense_matrix(spec.matrix.config));
+
+  ServeConfig scfg;
+  scfg.shards = 2;
+  Server server(scfg);
+  server.start();
+  Client client = Client::connect_tcp(server.port());
+  const Client::JobResult r = client.run(spec);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.status, "ok");
+  EXPECT_EQ(r.payload, batch_csv);
+  server.shutdown(true);
+}
+
+TEST(ServeIdentity, CampaignPayloadEqualsBatchCsv) {
+  const core::JobSpec spec = campaign_spec(1);
+  core::CorpusConfig ccfg;
+  ccfg.windows_per_class = spec.campaign.corpus_windows;
+  ccfg.secret = spec.campaign.config.scenario.secret;
+  ccfg.seed = spec.campaign.corpus_seed;
+  const ml::Dataset benign = core::build_benign_corpus(ccfg);
+  const ml::Dataset attack = core::build_attack_corpus(ccfg);
+  const std::string batch_csv =
+      core::campaign_to_csv(core::run_campaign(spec.campaign.config, benign,
+                                               attack));
+  EXPECT_EQ(core::run_job(spec).payload, batch_csv);
+}
+
+TEST(ServeIdentity, ScenarioAttemptZeroMatchesRunScenario) {
+  const core::JobSpec spec = scenario_spec(1, 1);
+  const core::ScenarioRun direct = core::run_scenario(spec.scenario.config);
+  const std::string payload = core::run_job(spec).payload;
+  // Row 1 carries run_scenario's ground truth.
+  const std::string needle =
+      "\n1," + std::to_string(direct.attack_launched ? 1 : 0) + "," +
+      std::to_string(direct.secret_recovered ? 1 : 0) + ",";
+  EXPECT_NE(payload.find(needle), std::string::npos) << payload;
+  EXPECT_NE(payload.find(std::to_string(direct.profile.cycles)),
+            std::string::npos);
+}
+
+TEST(ServeIdentity, ProgramJobOverWireMatchesDirect) {
+  const core::JobSpec spec = program_spec(1);
+  const std::string direct = core::run_job(spec).payload;
+  EXPECT_NE(direct.find("exit=42"), std::string::npos) << direct;
+
+  ServeConfig scfg;
+  Server server(scfg);
+  server.start();
+  Client client = Client::connect_tcp(server.port());
+  const Client::JobResult r = client.run(spec);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.payload, direct);
+  server.shutdown(true);
+}
+
+// --- Scheduling & lifecycle ----------------------------------------------
+
+TEST(ServeServer, QueueFullBackpressure) {
+  ServeConfig scfg;
+  scfg.shards = 1;
+  scfg.queue_capacity = 2;
+  Server server(scfg);
+  server.start();
+  server.pause_workers();
+
+  Client client = Client::connect_tcp(server.port());
+  // Fill the queue: these two are accepted…
+  client.submit(scenario_spec(1));
+  client.submit(scenario_spec(2));
+  EXPECT_EQ(client.next_event().type, FrameType::kAccepted);
+  EXPECT_EQ(client.next_event().type, FrameType::kAccepted);
+  // …the third bounces with the backpressure reason.
+  client.submit(scenario_spec(3));
+  const Client::Event ev = client.next_event();
+  EXPECT_EQ(ev.type, FrameType::kRejected);
+  EXPECT_EQ(ev.id, 3u);
+  EXPECT_EQ(ev.reason, "queue_full");
+
+  // Backpressure is advisory, not fatal: after the queue drains the same
+  // client submits successfully.
+  server.resume_workers();
+  const Client::JobResult r1 = client.await_result(1);
+  EXPECT_EQ(r1.status, "ok");
+  const Client::JobResult r2 = client.await_result(2);
+  EXPECT_EQ(r2.status, "ok");
+  const Client::JobResult r4 = client.run(scenario_spec(4));
+  EXPECT_EQ(r4.status, "ok");
+
+  server.shutdown(true);
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.received, 4u);
+  EXPECT_EQ(stats.accepted, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST(ServeServer, GracefulShutdownDrainsInFlight) {
+  ServeConfig scfg;
+  scfg.shards = 2;
+  scfg.queue_capacity = 16;
+  Server server(scfg);
+  server.start();
+  server.pause_workers();
+
+  Client client = Client::connect_tcp(server.port());
+  const int kJobs = 5;
+  for (int i = 0; i < kJobs; ++i) client.submit(scenario_spec(1 + i));
+  for (int i = 0; i < kJobs; ++i) {
+    EXPECT_EQ(client.next_event().type, FrameType::kAccepted);
+  }
+
+  // Shut down while everything is still queued: drain must run all five
+  // and deliver all five RESULT frames before the connection dies.
+  std::thread closer([&] { server.shutdown(true); });
+  int ok = 0;
+  int results = 0;
+  while (results < kJobs) {
+    const Client::Event ev = client.next_event();  // throws if server hangs up
+    if (ev.type != FrameType::kResult) continue;   // progress frames
+    ++results;
+    if (ev.status == "ok") ++ok;
+  }
+  closer.join();
+  EXPECT_EQ(ok, kJobs);
+
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST(ServeServer, ShutdownFrameRejectsNewWork) {
+  ServeConfig scfg;
+  Server server(scfg);
+  server.start();
+  Client client = Client::connect_tcp(server.port());
+
+  client.request_shutdown();
+  EXPECT_EQ(client.next_event().type, FrameType::kPong);
+  EXPECT_TRUE(server.shutdown_requested());
+
+  client.submit(scenario_spec(1));
+  const Client::Event ev = client.next_event();
+  EXPECT_EQ(ev.type, FrameType::kRejected);
+  EXPECT_EQ(ev.reason, "shutting_down");
+  server.shutdown(true);
+}
+
+TEST(ServeServer, CancelMidFlight) {
+  ServeConfig scfg;
+  scfg.shards = 1;
+  Server server(scfg);
+  server.start();
+  Client client = Client::connect_tcp(server.port());
+
+  // Enough attempts that the job is still running when the cancel lands;
+  // the progress stream tells us it started.
+  client.submit(scenario_spec(1, 200));
+  EXPECT_EQ(client.next_event().type, FrameType::kAccepted);
+  Client::Event ev = client.next_event();
+  EXPECT_EQ(ev.type, FrameType::kProgress);
+  EXPECT_EQ(ev.progress.total, 200u);
+  client.cancel(1);
+  do {
+    ev = client.next_event();
+  } while (ev.type == FrameType::kProgress);
+  EXPECT_EQ(ev.type, FrameType::kResult);
+  EXPECT_EQ(ev.status, "cancelled");
+  EXPECT_TRUE(ev.payload.empty());
+
+  server.shutdown(true);
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ServeServer, BadSubmitRejectedWithoutCrashing) {
+  ServeConfig scfg;
+  Server server(scfg);
+  server.start();
+  Client client = Client::connect_tcp(server.port());
+
+  client.ping();
+  EXPECT_EQ(client.next_event().type, FrameType::kPong);
+
+  // Malformed job spec inside a well-formed frame: rejected as bad_request,
+  // and the rejection echoes the id the broken spec managed to name.
+  {
+    const std::string junk = "crs-job v1\nkind=scenario\nid=77\nbogus=1\n";
+    const std::string frame = serve::encode_frame(FrameType::kSubmit, junk);
+    Socket s = connect_tcp_loopback(server.port());
+    s.send_all(frame.data(), frame.size());
+    FrameDecoder dec;
+    char buf[512];
+    for (;;) {
+      const std::size_t n = s.recv_some(buf, sizeof buf);
+      ASSERT_GT(n, 0u);
+      dec.feed(buf, n);
+      if (auto f = dec.next()) {
+        ASSERT_EQ(f->type, FrameType::kRejected);
+        const serve::RejectedPayload p = serve::parse_rejected(f->payload);
+        EXPECT_EQ(p.id, 77u);
+        EXPECT_EQ(p.reason, "bad_request");
+        EXPECT_FALSE(p.detail.empty());
+        break;
+      }
+    }
+  }
+
+  // And a stream that is not frames at all: the server answers with an
+  // ERROR frame, closes that connection, and keeps serving others.
+  {
+    Socket s = connect_tcp_loopback(server.port());
+    const std::string garbage(64, 'Z');
+    s.send_all(garbage.data(), garbage.size());
+    FrameDecoder dec;
+    char buf[512];
+    bool got_error = false;
+    for (;;) {
+      const std::size_t n = s.recv_some(buf, sizeof buf);
+      if (n == 0) break;  // server hung up, as designed
+      dec.feed(buf, n);
+      if (auto f = dec.next()) {
+        EXPECT_EQ(f->type, FrameType::kError);
+        got_error = true;
+      }
+    }
+    EXPECT_TRUE(got_error);
+  }
+
+  // Healthy tenants are unaffected.
+  const Client::JobResult r = client.run(scenario_spec(5));
+  EXPECT_EQ(r.status, "ok");
+  server.shutdown(true);
+}
+
+TEST(ServeServer, UnixDomainEndpoint) {
+  ServeConfig scfg;
+  scfg.unix_path =
+      "/tmp/crs_serve_test_" + std::to_string(::getpid()) + ".sock";
+  Server server(scfg);
+  server.start();
+  Client client = Client::connect_unix(scfg.unix_path);
+  const Client::JobResult r = client.run(program_spec(1));
+  EXPECT_EQ(r.status, "ok");
+  EXPECT_NE(r.payload.find("exit=42"), std::string::npos);
+  server.shutdown(true);
+}
+
+TEST(ServeServer, FailedJobGetsTerminalFrame) {
+  ServeConfig scfg;
+  Server server(scfg);
+  server.start();
+  Client client = Client::connect_tcp(server.port());
+
+  // Parses fine, fails at runtime: the assembler rejects the source.
+  core::JobSpec spec = program_spec(1);
+  spec.program.source = "main:\n  frobnicate r1, r2\n";
+  const Client::JobResult r = client.run(spec);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_EQ(r.status, "failed");
+  EXPECT_FALSE(r.payload.empty());
+
+  server.shutdown(true);
+  const serve::ServeStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, stats.completed + stats.cancelled);
+}
+
+}  // namespace
+}  // namespace crs

@@ -8,6 +8,13 @@
 //   crs_fuzz --check-golden  [DIR]     diff live scenarios vs checked-in CSVs
 //   crs_fuzz --check-trace <file.json> validate a Chrome trace_event JSON
 //                                      (schema + B/E span nesting)
+//   crs_fuzz --fuzz-serve              differential wire-vs-direct oracle:
+//                                      every generated program (and every
+//                                      5th iteration a scenario config) runs
+//                                      both through core::run_job directly
+//                                      and through an in-process campaign
+//                                      service over the wire protocol; any
+//                                      byte difference is a divergence
 //
 // Each iteration i derives its own Rng from (seed, i), generates a random
 // program, and runs the differential oracle (decode cache on/off, cache
@@ -34,6 +41,8 @@
 #include "fuzz/golden.hpp"
 #include "fuzz/minimize.hpp"
 #include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sim/cpu.hpp"
 #include "support/error.hpp"
 #include "support/parallel.hpp"
@@ -65,6 +74,7 @@ struct Options {
   bool allow_perturb = true;
   bool update_golden = false;
   bool check_golden = false;
+  bool fuzz_serve = false;
   std::string check_trace;
 };
 
@@ -77,7 +87,8 @@ int usage() {
       "                [--max-repros R] [--no-smc] [--no-pivot] [--no-perturb]\n"
       "       crs_fuzz --update-golden [DIR]\n"
       "       crs_fuzz --check-golden [DIR]\n"
-      "       crs_fuzz --check-trace <file.json>\n");
+      "       crs_fuzz --check-trace <file.json>\n"
+      "       crs_fuzz --fuzz-serve [--seed S] [--iters N | --seconds T]\n");
   return 2;
 }
 
@@ -137,6 +148,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.allow_pivot = false;
     } else if (a == "--no-perturb") {
       opt.allow_perturb = false;
+    } else if (a == "--fuzz-serve") {
+      opt.fuzz_serve = true;
     } else if (a == "--check-trace") {
       if (i + 1 >= argc) return false;
       opt.check_trace = argv[++i];
@@ -344,6 +357,93 @@ int run_fuzz(const Options& opt) {
   return divergences == 0 ? 0 : 1;
 }
 
+/// Differential wire-vs-direct oracle (the serve twin of check_program).
+/// The served path must be a pure transport: for any job the RESULT payload
+/// off the wire equals core::run_job's payload byte for byte. Reuses the
+/// fuzz generator so the program population matches the main oracle's.
+int run_fuzz_serve(const Options& opt) {
+  if (opt.threads != 0) set_thread_override(opt.threads);
+
+  serve::ServeConfig scfg;
+  scfg.shards = 2;
+  scfg.queue_capacity = 16;
+  serve::Server server(scfg);
+  server.start();
+  serve::Client client = serve::Client::connect_tcp(server.port());
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  int divergences = 0;
+  std::uint64_t iter = 0;
+  for (;; ++iter) {
+    if (opt.seconds > 0) {
+      if (elapsed() >= opt.seconds) break;
+    } else if (iter >= opt.iters) {
+      break;
+    }
+
+    Rng rng(derive_seed(opt.seed, iter));
+    core::JobSpec spec;
+    spec.id = iter + 1;
+    if (iter % 5 == 4) {
+      // Scenario jobs keep the session-cache path honest, not just the
+      // machine-pool path the program jobs exercise.
+      spec.kind = core::JobKind::kScenario;
+      spec.scenario.config.rop_injected = false;
+      spec.scenario.config.host_scale = 500 + rng.next_below(8);
+      spec.scenario.config.secret = (iter % 10 == 9) ? "FZ" : "FUZZSRV";
+      spec.scenario.config.seed = 1 + rng.next_below(1000);
+      spec.scenario.attempts = 1 + static_cast<int>(rng.next_below(3));
+    } else {
+      const auto program = fuzz::generate_program(
+          rng, generator_options(opt, iter));
+      spec.kind = core::JobKind::kProgram;
+      spec.program.source = program.source();
+      spec.program.writable_text = program.uses_smc;
+      spec.program.max_instructions = opt.max_instructions;
+    }
+
+    const std::string direct = core::run_job(spec).payload;
+    // Round-trip the spec text itself: the server parses what the client
+    // serialized, so any canonicalization drift shows up here too.
+    const serve::Client::JobResult served = client.run(spec);
+    if (!served.accepted || served.status != "ok" ||
+        served.payload != direct) {
+      ++divergences;
+      std::fprintf(stderr,
+                   "crs_fuzz: SERVE DIVERGENCE (iter %llu, %s): %s\n",
+                   static_cast<unsigned long long>(iter),
+                   core::job_kind_name(spec.kind).c_str(),
+                   !served.accepted
+                       ? ("rejected: " + served.reject_reason).c_str()
+                       : (served.status != "ok"
+                              ? ("status=" + served.status).c_str()
+                              : "payload bytes differ"));
+    }
+    if (iter % 50 == 49) {
+      std::printf("crs_fuzz: serve %llu iterations, %d divergence(s), %.1fs\n",
+                  static_cast<unsigned long long>(iter + 1), divergences,
+                  elapsed());
+      std::fflush(stdout);
+    }
+  }
+
+  server.shutdown(true);
+  const serve::ServeStats stats = server.stats();
+  std::printf(
+      "crs_fuzz: serve done — %llu jobs wire-vs-direct in %.1fs, "
+      "%d divergence(s) (server: %llu accepted, %llu completed)\n",
+      static_cast<unsigned long long>(iter), elapsed(), divergences,
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.completed));
+  return divergences == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -352,6 +452,7 @@ int main(int argc, char** argv) {
   try {
     if (opt.update_golden || opt.check_golden) return run_golden(opt);
     if (!opt.check_trace.empty()) return run_check_trace(opt.check_trace);
+    if (opt.fuzz_serve) return run_fuzz_serve(opt);
     return run_fuzz(opt);
   } catch (const Error& e) {
     std::fprintf(stderr, "crs_fuzz: %s\n", e.what());

@@ -37,6 +37,7 @@
 #include "core/report.hpp"
 #include "sim/cpu.hpp"
 #include "support/error.hpp"
+#include "support/flags.hpp"
 #include "support/memo.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
@@ -53,16 +54,6 @@ int usage(const char* argv0) {
                "[--exec interp|blocks] [--bench-json <path>]\n",
                argv0);
   return 2;
-}
-
-void apply_snapshot_flag(const std::string& value) {
-  if (value == "on" || value == "1") {
-    set_fast_reset_enabled(true);
-  } else if (value == "off" || value == "0") {
-    set_fast_reset_enabled(false);
-  } else {
-    throw Error("--snapshot wants 'on' or 'off', got '" + value + "'");
-  }
 }
 
 void apply_exec_flag(const std::string& value) {
@@ -142,46 +133,32 @@ int main(int argc, char** argv) {
     bool check = false;
     std::string csv_path, json_path, metrics_path, bench_json_path;
 
-    for (int i = 1; i < argc; ++i) {
-      const std::string flag = argv[i];
-      const auto next = [&]() -> const char* {
-        if (i + 1 >= argc) {
-          throw Error("flag '" + flag + "' needs a value");
-        }
-        return argv[++i];
-      };
-      if (flag == "--quick") {
+    std::string value;
+    FlagCursor args(argc, argv);
+    while (args.more()) {
+      std::uint64_t u = 0;
+      if (args.take("--quick")) {
         config.quick = true;
-      } else if (flag == "--check") {
+      } else if (args.take("--check")) {
         check = true;
-      } else if (flag == "--presets") {
-        config.presets = split(next(), ',');
-      } else if (flag == "--attempts") {
-        config.attempts = std::atoi(next());
-      } else if (flag == "--seed") {
-        config.seed = std::strtoull(next(), nullptr, 10);
-      } else if (flag == "--csv") {
-        csv_path = next();
-      } else if (flag == "--json") {
-        json_path = next();
-      } else if (flag == "--metrics") {
-        metrics_path = next();
-      } else if (flag == "--bench-json") {
-        bench_json_path = next();
-      } else if (flag == "--threads") {
-        set_thread_override(
-            static_cast<unsigned>(std::strtoul(next(), nullptr, 10)));
-      } else if (flag == "--snapshot") {
-        apply_snapshot_flag(next());
-      } else if (flag.rfind("--snapshot=", 0) == 0) {
-        apply_snapshot_flag(flag.substr(11));
-      } else if (flag == "--exec") {
-        apply_exec_flag(next());
-      } else if (flag.rfind("--exec=", 0) == 0) {
-        apply_exec_flag(flag.substr(7));
-      } else {
-        std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
+      } else if (args.take_value("--presets", value)) {
+        config.presets = split(value, ',');
+      } else if (args.take_int("--attempts", config.attempts)) {
+      } else if (args.take_u64("--seed", config.seed)) {
+      } else if (args.take_value("--csv", csv_path)) {
+      } else if (args.take_value("--json", json_path)) {
+      } else if (args.take_value("--metrics", metrics_path)) {
+      } else if (args.take_value("--bench-json", bench_json_path)) {
+      } else if (args.take_u64("--threads", u)) {
+        set_thread_override(static_cast<unsigned>(u));
+      } else if (args.take_value("--snapshot", value)) {
+        apply_snapshot_flag(value);
+      } else if (args.take_value("--exec", value)) {
+        apply_exec_flag(value);
+      } else if (args.take("--help")) {
         return usage(argv[0]);
+      } else {
+        args.unknown();
       }
     }
 

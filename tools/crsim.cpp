@@ -46,21 +46,12 @@
 #include "sim/cpu.hpp"
 #include "sim/kernel.hpp"
 #include "support/error.hpp"
+#include "support/flags.hpp"
 #include "support/memo.hpp"
 #include "support/parallel.hpp"
 #include "support/strings.hpp"
 
 namespace {
-
-void apply_snapshot_flag(const std::string& value) {
-  if (value == "on" || value == "1") {
-    crs::set_fast_reset_enabled(true);
-  } else if (value == "off" || value == "0") {
-    crs::set_fast_reset_enabled(false);
-  } else {
-    throw crs::Error("--snapshot wants 'on' or 'off', got '" + value + "'");
-  }
-}
 
 void apply_exec_flag(const std::string& value) {
   if (const auto engine = crs::sim::parse_exec_engine(value)) {
@@ -101,55 +92,32 @@ int main(int argc, char** argv) {
     std::string trace_path;
     std::string metrics_path;
     mitigate::MitigationConfig mitigations;
-    int argi = 1;
-    // Fetches the value of a value-taking flag, erroring out (rather than
-    // falling through to "unknown flag") when it is the last argument.
-    const auto next = [&](const std::string& flag) -> std::string {
-      if (argi + 1 >= argc) {
-        throw Error(flag + " needs a value");
-      }
-      argi += 2;
-      return argv[argi - 1];
-    };
-    while (argi < argc && argv[argi][0] == '-') {
-      const std::string flag = argv[argi];
-      if (flag == "--disasm") {
+    std::string value;
+    FlagCursor args(argc, argv);
+    while (args.more_flags()) {
+      std::uint64_t u = 0;
+      if (args.take("--disasm")) {
         disasm = true;
-        ++argi;
-      } else if (flag == "--mitigations") {
-        mitigations = mitigate::MitigationConfig::parse(next(flag));
-      } else if (flag.rfind("--mitigations=", 0) == 0) {
-        mitigations = mitigate::MitigationConfig::parse(flag.substr(14));
-        ++argi;
-      } else if (flag == "--snapshot") {
-        apply_snapshot_flag(next(flag));
-      } else if (flag.rfind("--snapshot=", 0) == 0) {
-        apply_snapshot_flag(flag.substr(11));
-        ++argi;
-      } else if (flag == "--exec") {
-        apply_exec_flag(next(flag));
-      } else if (flag.rfind("--exec=", 0) == 0) {
-        apply_exec_flag(flag.substr(7));
-        ++argi;
-      } else if (flag == "--threads") {
-        set_thread_override(static_cast<unsigned>(
-            std::strtoul(next(flag).c_str(), nullptr, 10)));
-      } else if (flag == "--bench-json") {
-        json_path = next(flag);
-      } else if (flag == "--trace") {
-        trace_path = next(flag);
-      } else if (flag == "--metrics") {
-        metrics_path = next(flag);
+      } else if (args.take_value("--mitigations", value)) {
+        mitigations = mitigate::MitigationConfig::parse(value);
+      } else if (args.take_value("--snapshot", value)) {
+        apply_snapshot_flag(value);
+      } else if (args.take_value("--exec", value)) {
+        apply_exec_flag(value);
+      } else if (args.take_u64("--threads", u)) {
+        set_thread_override(static_cast<unsigned>(u));
+      } else if (args.take_value("--bench-json", json_path)) {
+      } else if (args.take_value("--trace", trace_path)) {
+      } else if (args.take_value("--metrics", metrics_path)) {
       } else {
-        std::fprintf(stderr, "unknown flag '%s'\n", flag.c_str());
-        return 2;
+        args.unknown();
       }
     }
-    if (argi >= argc) {
+    if (!args.more()) {
       std::fprintf(stderr, "missing input file\n");
       return 2;
     }
-    const std::string path = argv[argi++];
+    const std::string path = args.take_positional();
     const sim::Program program =
         casm::assemble(read_file(path) + casm::runtime_library(),
                        {.name = path, .link_base = 0x10000});
@@ -159,8 +127,8 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    std::vector<std::string> args{path};
-    for (; argi < argc; ++argi) args.emplace_back(argv[argi]);
+    std::vector<std::string> prog_args{path};
+    while (args.more()) prog_args.push_back(args.take_positional());
 
     if ((!trace_path.empty() || !metrics_path.empty()) && !obs::kEnabled) {
       std::fprintf(stderr,
@@ -176,7 +144,7 @@ int main(int argc, char** argv) {
     sim::Kernel kernel(machine, kcfg);
     const mitigate::Armed armed = mitigate::arm(kernel, mitigations);
     kernel.register_binary(path, program);
-    kernel.start_with_strings(path, args);
+    kernel.start_with_strings(path, prog_args);
     obs::TraceSpan run_span("crsim.run", machine.cpu().cycle());
     const auto t0 = std::chrono::steady_clock::now();
     const auto reason = kernel.run(2'000'000'000);
