@@ -91,6 +91,12 @@ std::vector<AttackSpec> default_attacks(const DefenseMatrixConfig& config) {
 }
 
 DefenseMatrixResult run_defense_matrix(const DefenseMatrixConfig& config) {
+  return run_defense_matrix(config, {});
+}
+
+DefenseMatrixResult run_defense_matrix(
+    const DefenseMatrixConfig& config,
+    const std::vector<AttackSpec>& extra_attacks) {
   DefenseMatrixResult result;
   result.presets =
       config.presets.empty() ? mitigate::preset_names() : config.presets;
@@ -101,7 +107,8 @@ DefenseMatrixResult run_defense_matrix(const DefenseMatrixConfig& config) {
     preset_configs.push_back(mitigate::preset(name));
   }
 
-  const std::vector<AttackSpec> attacks = default_attacks(config);
+  std::vector<AttackSpec> attacks = default_attacks(config);
+  attacks.insert(attacks.end(), extra_attacks.begin(), extra_attacks.end());
   for (const auto& a : attacks) result.attacks.push_back(a.name);
 
   // The defender trains ONCE, on unmitigated traces: the matrix asks how a

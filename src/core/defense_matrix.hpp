@@ -90,6 +90,14 @@ std::vector<AttackSpec> default_attacks(const DefenseMatrixConfig& config);
 
 DefenseMatrixResult run_defense_matrix(const DefenseMatrixConfig& config);
 
+/// Sweep with extra attack rows appended after the defaults — how mined
+/// gadget scenarios (tools/gadget_hunter --emit-scenarios, crs_matrix
+/// --mined) join the matrix. Extra rows follow the same per-attack seed
+/// derivation, so the default rows stay byte-identical to the plain sweep.
+DefenseMatrixResult run_defense_matrix(
+    const DefenseMatrixConfig& config,
+    const std::vector<AttackSpec>& extra_attacks);
+
 /// CSV: header row `attack,preset,attempts,leaks,leak_rate,hid_detection,
 /// mitigation_events,ipc_overhead_pct`, one line per cell.
 std::string matrix_csv(const DefenseMatrixResult& result);

@@ -113,6 +113,14 @@ void emit_scenario(std::string& out, const ScenarioConfig& c) {
   out += "prof.background_intensity=" + fmt_f64(pr.background_intensity) +
          "\n";
   out += "prof.noise_seed=" + std::to_string(pr.noise_seed) + "\n";
+  if (!c.mined_attack_source.empty()) {
+    // Length-prefixed (like prog.source): the mined replay program is a
+    // multi-line casm listing and cannot ride in a key=value line.
+    out += "mined.source=" + std::to_string(c.mined_attack_source.size()) +
+           "\n";
+    out += c.mined_attack_source;
+    out += "\n";
+  }
 }
 
 /// Applies one scenario-section key; true when the key belonged here.
@@ -319,6 +327,19 @@ JobSpec parse_job(const std::string& text) {
     ScenarioConfig* sc = nullptr;
     if (spec.kind == JobKind::kScenario) sc = &spec.scenario.config;
     if (spec.kind == JobKind::kCampaign) sc = &spec.campaign.config.scenario;
+    if (sc != nullptr && key == "mined.source") {
+      const std::uint64_t len = parse_u64(key, value);
+      if (len > text.size() || pos + len + 1 > text.size()) {
+        throw Error("job spec: truncated mined source (wants " +
+                    std::to_string(len) + " bytes)");
+      }
+      sc->mined_attack_source = text.substr(pos, len);
+      if (text[pos + len] != '\n') {
+        throw Error("job spec: mined source not newline-terminated");
+      }
+      pos += len + 1;
+      continue;
+    }
     if (sc != nullptr && apply_scenario_key(*sc, key, value)) continue;
 
     if (spec.kind == JobKind::kScenario && key == "attempts") {

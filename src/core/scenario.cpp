@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "casm/assembler.hpp"
+#include "casm/runtime.hpp"
 #include "support/error.hpp"
 #include "support/memo.hpp"
 #include "support/rng.hpp"
@@ -103,6 +105,40 @@ std::shared_ptr<const rop::InjectionPlan> memo_plan(
   });
 }
 
+/// Mined replay programs (mine/synth.cpp) arrive as assembly text; complete
+/// them against the scenario's secret and assemble at the attack link base.
+/// Standalone sources are pre-wrapped (they define mine_secret_base/len);
+/// injected sources get numeric `.equ`s against the host's resolved secret.
+sim::Program build_mined_attack(const ScenarioConfig& config,
+                                std::uint64_t secret_address,
+                                std::uint64_t link_base) {
+  std::string src;
+  if (config.rop_injected) {
+    src = ".equ mine_secret_len, " + std::to_string(config.secret.size()) +
+          "\n.equ mine_secret_base, " + std::to_string(secret_address) + "\n";
+  }
+  src += config.mined_attack_source;
+  src += "\n";
+  src += casm::runtime_library();
+  return casm::assemble(src,
+                        {.name = "mined-attack", .link_base = link_base});
+}
+
+std::shared_ptr<const sim::Program> memo_mined_attack(
+    const ScenarioConfig& config, std::uint64_t secret_address,
+    std::uint64_t link_base) {
+  HashBuilder h;
+  h.str("mined-attack")
+      .str(config.mined_attack_source)
+      .b(config.rop_injected)
+      .str(config.secret)
+      .u64(secret_address)
+      .u64(link_base);
+  return attack_cache().get_or_build(h.digest(), [&] {
+    return build_mined_attack(config, secret_address, link_base);
+  });
+}
+
 rop::ReconSpec make_recon_spec(const ScenarioConfig& config) {
   rop::ReconSpec rspec;
   rspec.path = kHostPath;
@@ -174,7 +210,13 @@ void ScenarioSession::ensure_attack_binary(
   if (attack_ && params == attack_params_) return;
   ScenarioConfig cfg = config_;
   cfg.perturb_params = params;
-  attack_ = memo_attack(make_attack_config(cfg, secret_address_));
+  if (!config_.mined_attack_source.empty()) {
+    attack_ = memo_mined_attack(config_, secret_address_,
+                                make_attack_config(cfg, secret_address_)
+                                    .link_base);
+  } else {
+    attack_ = memo_attack(make_attack_config(cfg, secret_address_));
+  }
   attack_params_ = params;
   kernel_->register_binary(kAttackPath, *attack_);
 }
@@ -275,6 +317,7 @@ std::uint64_t hash_scenario_config(const ScenarioConfig& c) {
   HashBuilder h;
   h.str(c.host).u64(c.host_scale).str(c.secret);
   h.i64(static_cast<int>(c.variant)).b(c.rop_injected).b(c.perturb);
+  h.str(c.mined_attack_source);
   hash_perturb(h, c.perturb_params);
   h.b(c.canary).b(c.aslr);
   const mitigate::MitigationConfig& m = c.mitigations;

@@ -46,6 +46,14 @@ struct ScenarioConfig {
 
   attack::SpectreVariant variant = attack::SpectreVariant::kPht;
   bool rop_injected = true;   ///< false = standalone attack binary
+
+  /// Non-empty: use this mined replay program (mine::synthesize_attack_source
+  /// output) as the attack binary instead of the built-in generator. The
+  /// source must reference `mine_secret_base`/`mine_secret_len`; standalone
+  /// configs carry the wrapped form (mine::wrap_attack_standalone), injected
+  /// configs carry the raw form and the session prepends numeric `.equ`s for
+  /// the host's resolved secret address.
+  std::string mined_attack_source;
   bool perturb = false;
   perturb::PerturbParams perturb_params;
 

@@ -206,6 +206,50 @@ struct Emitter {
     line(r + ":");
   }
 
+  // Spectre-shaped snippet for the mining corpus (opt.gadget_bias): a tail
+  // subroutine whose entry is a taint-reset point for the classifier, so an
+  // attacker-controlled argument register demonstrably reaches a transient
+  // deref -> dependent probe load. The PHT shape is a bounds-checked table
+  // index (both real paths are architecturally safe: the bound is 16 and
+  // probe offsets cap at 255*64 inside the shared 16 KiB probe buffer); the
+  // RSB shape hides the deref behind a return-rewriting trampoline, so it
+  // only ever executes transiently. All snippets share one table/probe pair
+  // to keep generated images compact.
+  bool gadget_data_emitted = false;
+  void emit_gadget(int index) {
+    const auto g = "fz_gad" + std::to_string(index);
+    const int atk = 1 + static_cast<int>(rng.next_below(3));  // r1..r3
+    const bool pht = rng.next_bernoulli(0.5);
+    line("  call " + g);
+    gadget_data_emitted = true;
+    tail.push_back(g + ":");
+    if (pht) {
+      tail.push_back("  movi r10, fz_gtbl");
+      tail.push_back("  load r10, [r10]");
+      tail.push_back("  cmpltu r11, " + rname(atk) + ", r10");
+      tail.push_back("  beqz r11, fz_gend" + std::to_string(index));
+    } else {
+      tail.push_back("  call fz_gtr" + std::to_string(index));
+    }
+    tail.push_back("  movi r12, fz_gtbl");
+    tail.push_back("  add r12, r12, " + rname(atk));
+    tail.push_back("  loadb r13, [r12+8]");
+    tail.push_back("  muli r13, r13, 64");
+    tail.push_back("  movi r12, fz_gprobe");
+    tail.push_back("  add r12, r12, r13");
+    tail.push_back("  loadb r13, [r12]");
+    tail.push_back("fz_gend" + std::to_string(index) + ":");
+    tail.push_back("  ret");
+    if (!pht) {
+      tail.push_back("fz_gtr" + std::to_string(index) + ":");
+      tail.push_back("  movi r13, fz_gend" + std::to_string(index));
+      tail.push_back("  store [r15], r13");
+      tail.push_back("  clflush [r15]");
+      tail.push_back("  mfence");
+      tail.push_back("  ret");
+    }
+  }
+
   // Self-modifying store: build the encoding of a random ALU instruction in
   // a register, store it over a nop at an SMC site, then execute the site.
   // A decode cache that misses the store's page-version bump runs the stale
@@ -285,6 +329,10 @@ FuzzProgram generate_program(Rng& rng, const GeneratorOptions& options) {
     e.labels.push_back(label);
     if (b == smc_block) e.emit_smc();
     if (b == perturb_block) e.line("  call fz_perturb");
+    if (options.gadget_bias > 0 &&
+        rng.next_below(100) < static_cast<std::uint64_t>(options.gadget_bias)) {
+      e.emit_gadget(b);
+    }
     const auto next_label =
         b + 1 < blocks ? "fz_b" + std::to_string(b + 1) : std::string("fz_done");
     const int stmts = 1 + static_cast<int>(rng.next_below(
@@ -331,6 +379,18 @@ FuzzProgram generate_program(Rng& rng, const GeneratorOptions& options) {
   prog.lines.push_back(".align 64");
   prog.lines.push_back("fz_scratch:");
   prog.lines.push_back("  .space " + std::to_string(kScratchBytes) + ", 0");
+
+  if (e.gadget_data_emitted) {
+    // Shared gadget-snippet data: [bound=16][16 index bytes] and the probe
+    // buffer every snippet transmits into (255 * 64 < 16384).
+    prog.lines.push_back(".align 64");
+    prog.lines.push_back("fz_gtbl:");
+    prog.lines.push_back("  .word 16");
+    prog.lines.push_back("  .space 16, 7");
+    prog.lines.push_back(".align 64");
+    prog.lines.push_back("fz_gprobe:");
+    prog.lines.push_back("  .space 16384, 0");
+  }
 
   if (!perturb_src.empty()) {
     std::size_t pos = 0;

@@ -43,6 +43,11 @@ struct GeneratorOptions {
   bool allow_pivot = true;
   /// Splice in a perturb() ladder (Algorithm 2) and call it.
   bool allow_perturb = true;
+  /// Percent chance per block to splice a Spectre-shaped snippet (a
+  /// bounds-checked table deref or a return-rewriting trampoline feeding a
+  /// dependent probe load) — the mining corpus knob. 0 (the default) draws
+  /// no extra randomness, so existing golden corpora are unchanged.
+  int gadget_bias = 0;
 
   bool operator==(const GeneratorOptions&) const = default;
 };

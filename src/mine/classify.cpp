@@ -1,0 +1,312 @@
+// Static speculation-aware classification (stage 1 of the mining pipeline).
+//
+// The image is loaded into a scratch sim::Memory and decoded through the same
+// DecodeCache the CPU front end uses, so DEP (non-executable pages decode to
+// nothing) and fence-pass hints (DecodedSlot::fence_after) behave here exactly
+// as they do at simulation time, including for images a fence pass has
+// rewritten in place.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mine/mine.hpp"
+#include "sim/decode_cache.hpp"
+#include "sim/memory.hpp"
+
+namespace crs::mine {
+namespace {
+
+using isa::Opcode;
+using isa::OpClass;
+
+constexpr std::uint64_t kSlot = 8;
+
+std::uint64_t image_top(const sim::Program& program) {
+  std::uint64_t top = 0;
+  for (const auto& seg : program.segments) {
+    top = std::max(top, seg.addr + seg.bytes.size());
+  }
+  return top;
+}
+
+/// Loads the program image into a right-sized Memory with its link-time
+/// permissions, mirroring what the kernel loader does.
+sim::Memory load_image(const sim::Program& program) {
+  const std::uint64_t top =
+      (image_top(program) + sim::Memory::kPageSize) &
+      ~(sim::Memory::kPageSize - 1);
+  sim::Memory memory(top + sim::Memory::kPageSize);
+  for (const auto& seg : program.segments) {
+    if (!seg.bytes.empty()) memory.write_bytes(seg.addr, seg.bytes);
+    memory.set_permissions(seg.addr, seg.bytes.size(), seg.perm);
+  }
+  return memory;
+}
+
+/// Three-level taint lattice used by the window walk.
+enum class Taint : std::uint8_t { kClean = 0, kAttacker = 1, kSecret = 2 };
+
+Taint max_taint(Taint a, Taint b) { return a > b ? a : b; }
+
+/// Taint of the register operands an instruction reads (via the same
+/// reads_rs1/reads_rs2 classification the dispatch loop uses).
+Taint read_taint(const sim::DecodedSlot& slot,
+                 const std::array<Taint, isa::kNumRegisters>& taint) {
+  Taint t = Taint::kClean;
+  if (slot.reads_rs1) t = max_taint(t, taint[slot.instr.rs1]);
+  if (slot.reads_rs2) t = max_taint(t, taint[slot.instr.rs2]);
+  return t;
+}
+
+bool is_window_terminator(const sim::DecodedSlot& slot) {
+  switch (slot.cls) {
+    case OpClass::kCondBranch:
+    case OpClass::kJump:
+    case OpClass::kIndirectJump:
+    case OpClass::kCall:
+    case OpClass::kIndirectCall:
+    case OpClass::kRet:
+    case OpClass::kFence:
+    case OpClass::kSyscall:
+    case OpClass::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct WindowHit {
+  int window_len = 0;
+  std::uint64_t load_addr = 0;
+  std::uint64_t xmit_addr = 0;
+  int load_width = 1;
+};
+
+/// Walks the straight-line window at `start` with `attacker_reg` tainted,
+/// looking for attacker-deref -> secret-deref within max_window instructions
+/// (the transmit itself ends the window). Mirrors run_wrong_path's budget:
+/// every decoded slot costs one instruction.
+std::optional<WindowHit> walk_window(sim::DecodeCache& cache,
+                                     std::uint64_t start, int attacker_reg,
+                                     const MineOptions& opt) {
+  std::array<Taint, isa::kNumRegisters> taint{};
+  taint[attacker_reg] = Taint::kAttacker;
+  WindowHit hit;
+  bool have_load = false;
+  for (int i = 0; i < opt.max_window; ++i) {
+    const std::uint64_t pc = start + static_cast<std::uint64_t>(i) * kSlot;
+    const sim::DecodedSlot* slot = cache.lookup(pc);
+    if (slot == nullptr || slot->state != sim::DecodedSlot::kValid) {
+      return std::nullopt;  // DEP or illegal encoding ends the window
+    }
+    if (is_window_terminator(*slot)) return std::nullopt;
+    const isa::Instruction& in = slot->instr;
+    switch (slot->cls) {
+      case OpClass::kLoad: {
+        const Taint ptr = taint[in.rs1];
+        if (ptr == Taint::kSecret && have_load) {
+          hit.window_len = i + 1;
+          hit.xmit_addr = pc;
+          return hit;
+        }
+        if (ptr == Taint::kAttacker) {
+          if (!have_load) {
+            have_load = true;
+            hit.load_addr = pc;
+            hit.load_width = in.op == Opcode::kLoadB ? 1 : 8;
+          }
+          taint[in.rd] = Taint::kSecret;
+        } else {
+          taint[in.rd] = Taint::kClean;
+        }
+        break;
+      }
+      case OpClass::kAlu:
+        taint[in.rd] = in.op == Opcode::kMovImm
+                           ? Taint::kClean
+                           : read_taint(*slot, taint);
+        break;
+      case OpClass::kPop:
+      case OpClass::kRdCycle:
+        taint[in.rd] = Taint::kClean;
+        break;
+      case OpClass::kStore:  // memory taint is not tracked
+      case OpClass::kPush:
+      case OpClass::kFlush:
+      case OpClass::kNop:
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+/// True when `addr` decodes to a valid instruction (and is thus a plausible
+/// transient entry point).
+bool decodes_at(sim::DecodeCache& cache, std::uint64_t addr) {
+  if (addr % kSlot != 0) return false;
+  const sim::DecodedSlot* slot = cache.lookup(addr);
+  return slot != nullptr && slot->state == sim::DecodedSlot::kValid;
+}
+
+}  // namespace
+
+std::vector<WindowCandidate> classify_program(const sim::Program& program,
+                                              const MineOptions& options) {
+  sim::Memory memory = load_image(program);
+  sim::DecodeCache cache(memory);
+  std::vector<WindowCandidate> out;
+
+  // Candidate trigger sites, gathered in address order.
+  struct Site {
+    TriggerKind trigger;
+    std::uint64_t trigger_addr;
+    bool taken;
+    std::uint64_t window_addr;
+    int cond_reg;
+  };
+  std::vector<Site> sites;
+
+  for (const auto& seg : program.segments) {
+    if ((seg.perm & sim::kPermExec) == 0) continue;
+    // Cond-taint pre-pass: walk the segment's straight-line runs keeping a
+    // one-bit attacker taint per register. Runs restart (attacker registers
+    // re-tainted) at the segment start and after every control-flow or
+    // illegal slot — any run start is a potential entry reached with
+    // attacker-controlled argument registers live.
+    std::array<bool, isa::kNumRegisters> atk{};
+    auto reset_run = [&] {
+      atk.fill(false);
+      for (int r : options.attacker_regs) {
+        if (r >= 0 && r < isa::kNumRegisters) atk[r] = true;
+      }
+    };
+    auto reads_attacker = [&](const sim::DecodedSlot& slot) {
+      return (slot.reads_rs1 && atk[slot.instr.rs1]) ||
+             (slot.reads_rs2 && atk[slot.instr.rs2]);
+    };
+    reset_run();
+    const std::uint64_t end = seg.addr + seg.bytes.size();
+    for (std::uint64_t pc = seg.addr; pc + kSlot <= end; pc += kSlot) {
+      const sim::DecodedSlot* slot = cache.lookup(pc);
+      if (slot == nullptr || slot->state != sim::DecodedSlot::kValid) {
+        reset_run();
+        continue;
+      }
+      const isa::Instruction& in = slot->instr;
+      switch (slot->cls) {
+        case OpClass::kCondBranch: {
+          const bool fenced = options.honor_fence_hints && slot->fence_after;
+          if (atk[in.rs1] && !fenced) {
+            const std::uint64_t taken = static_cast<std::uint32_t>(in.imm);
+            if (decodes_at(cache, taken)) {
+              sites.push_back(
+                  {TriggerKind::kCondBranch, pc, true, taken, in.rs1});
+            }
+            if (decodes_at(cache, pc + kSlot)) {
+              sites.push_back(
+                  {TriggerKind::kCondBranch, pc, false, pc + kSlot, in.rs1});
+            }
+          }
+          reset_run();
+          break;
+        }
+        case OpClass::kCall:
+        case OpClass::kIndirectCall:
+          // The RSB predicts the post-call slot; a mispredicted return
+          // elsewhere leaves this continuation as a transient window.
+          if (decodes_at(cache, pc + kSlot)) {
+            sites.push_back(
+                {TriggerKind::kPostCall, pc, false, pc + kSlot, -1});
+          }
+          reset_run();
+          break;
+        case OpClass::kJump:
+        case OpClass::kIndirectJump:
+        case OpClass::kRet:
+        case OpClass::kSyscall:
+        case OpClass::kHalt:
+          reset_run();
+          break;
+        case OpClass::kLoad:
+        case OpClass::kPop:
+        case OpClass::kRdCycle:
+          atk[in.rd] = false;  // loaded values are victim data, not input
+          break;
+        case OpClass::kAlu:
+          atk[in.rd] = in.op != Opcode::kMovImm && reads_attacker(*slot);
+          break;
+        case OpClass::kStore:
+        case OpClass::kPush:
+        case OpClass::kFlush:
+        case OpClass::kFence:
+        case OpClass::kNop:
+          break;
+        default:
+          reset_run();
+          break;
+      }
+    }
+  }
+
+  for (const Site& site : sites) {
+    if (out.size() >= options.max_candidates) break;
+    for (int reg : options.attacker_regs) {
+      auto hit = walk_window(cache, site.window_addr, reg, options);
+      if (!hit) continue;
+      WindowCandidate c;
+      c.trigger = site.trigger;
+      c.trigger_addr = site.trigger_addr;
+      c.window_taken = site.taken;
+      c.window_addr = site.window_addr;
+      c.window_len = hit->window_len;
+      c.cond_reg = site.cond_reg;
+      c.attacker_reg = reg;
+      c.load_addr = hit->load_addr;
+      c.xmit_addr = hit->xmit_addr;
+      c.load_width = hit->load_width;
+      out.push_back(c);
+      break;  // first attacker register to transmit wins, deterministically
+    }
+  }
+  return out;
+}
+
+std::string trigger_kind_name(TriggerKind k) {
+  switch (k) {
+    case TriggerKind::kCondBranch:
+      return "cond-branch";
+    case TriggerKind::kPostCall:
+      return "post-call";
+  }
+  return "?";
+}
+
+std::string gadget_class_name(GadgetClass c) {
+  switch (c) {
+    case GadgetClass::kPht:
+      return "spectre-pht";
+    case GadgetClass::kRsb:
+      return "spectre-rsb";
+    case GadgetClass::kCrSpectre:
+      return "cr-spectre";
+  }
+  return "?";
+}
+
+std::string validation_name(Validation v) {
+  switch (v) {
+    case Validation::kNone:
+      return "none";
+    case Validation::kLeak:
+      return "leak";
+    case Validation::kPerturb:
+      return "perturb";
+  }
+  return "?";
+}
+
+}  // namespace crs::mine

@@ -1,0 +1,385 @@
+#include "mine/emul.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string_view>
+
+namespace crs::mine::detail {
+
+using isa::Opcode;
+
+const char kValidationSecret[17] = "MINED-SECRET-KEY";
+
+SymVal sym_add(const SymVal& a, const SymVal& b, int sign) {
+  if (!a.known || !b.known) return SymVal::unknown();
+  SymVal r;
+  r.known = true;
+  if (a.anchor >= 0 && b.anchor >= 0) {
+    // Two anchors only cancel under subtraction of the same anchor.
+    if (sign < 0 && a.anchor == b.anchor) {
+      r.anchor = -1;
+    } else {
+      return SymVal::unknown();
+    }
+  } else {
+    r.anchor = a.anchor >= 0 ? a.anchor : b.anchor;
+    if (sign < 0 && b.anchor >= 0) return SymVal::unknown();
+  }
+  r.base = a.base + sign * b.base;
+  r.val = a.val + sign * b.val;
+  r.add = a.add + sign * b.add;
+  return r;
+}
+
+SymVal sym_scale(const SymVal& a, std::int64_t k) {
+  if (!a.known) return SymVal::unknown();
+  if (k == 0) return SymVal::constant(0);
+  if (k == 1) return a;
+  if (a.anchor >= 0) return SymVal::unknown();  // k * anchor is not affine
+  SymVal r = a;
+  r.base *= k;
+  r.val *= k;
+  r.add *= k;
+  return r;
+}
+
+namespace {
+std::int64_t shift_amount(std::uint64_t raw) { return raw & 63; }
+}  // namespace
+
+SymVal sym_alu(const isa::Instruction& in, const SymRegs& regs) {
+  const SymVal& a = regs[in.rs1];
+  const SymVal& b = regs[in.rs2];
+  const auto imm64 =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(in.imm));
+  switch (in.op) {
+    case Opcode::kMovImm:
+      return SymVal::constant(static_cast<std::int64_t>(in.imm));
+    case Opcode::kMov:
+      return a;
+    case Opcode::kAdd:
+      return sym_add(a, b, +1);
+    case Opcode::kSub:
+      return sym_add(a, b, -1);
+    case Opcode::kAddImm:
+      return sym_add(a, SymVal::constant(static_cast<std::int64_t>(in.imm)),
+                     +1);
+    case Opcode::kMul:
+      if (b.pure_const()) return sym_scale(a, b.add);
+      if (a.pure_const()) return sym_scale(b, a.add);
+      return SymVal::unknown();
+    case Opcode::kMulImm:
+      return sym_scale(a, static_cast<std::int64_t>(in.imm));
+    case Opcode::kShlImm:
+      return sym_scale(a, std::int64_t{1} << shift_amount(imm64));
+    case Opcode::kShl:
+      if (b.pure_const()) {
+        return sym_scale(
+            a, std::int64_t{1}
+                   << shift_amount(static_cast<std::uint64_t>(b.add)));
+      }
+      return SymVal::unknown();
+    default:
+      break;
+  }
+  // Everything below folds only on pure constants, mirroring
+  // Cpu::alu_result bit for bit (registers are uint64 two's complement).
+  const auto ua = static_cast<std::uint64_t>(a.add);
+  const auto ub = static_cast<std::uint64_t>(b.add);
+  auto c = [](std::uint64_t v) {
+    return SymVal::constant(static_cast<std::int64_t>(v));
+  };
+  switch (in.op) {
+    case Opcode::kDivu:
+      if (a.pure_const() && b.pure_const()) {
+        return c(ub == 0 ? ~0ull : ua / ub);
+      }
+      return SymVal::unknown();
+    case Opcode::kRemu:
+      if (a.pure_const() && b.pure_const()) return c(ub == 0 ? ua : ua % ub);
+      return SymVal::unknown();
+    case Opcode::kAnd:
+      if (a.pure_const() && b.pure_const()) return c(ua & ub);
+      return SymVal::unknown();
+    case Opcode::kOr:
+      if (a.pure_const() && b.pure_const()) return c(ua | ub);
+      return SymVal::unknown();
+    case Opcode::kXor:
+      if (a.pure_const() && b.pure_const()) return c(ua ^ ub);
+      return SymVal::unknown();
+    case Opcode::kShr:
+      if (a.pure_const() && b.pure_const()) {
+        return c(ua >> shift_amount(ub));
+      }
+      return SymVal::unknown();
+    case Opcode::kSar:
+      if (a.pure_const() && b.pure_const()) {
+        return c(static_cast<std::uint64_t>(static_cast<std::int64_t>(ua) >>
+                                            shift_amount(ub)));
+      }
+      return SymVal::unknown();
+    case Opcode::kAndImm:
+      if (a.pure_const()) return c(ua & imm64);
+      return SymVal::unknown();
+    case Opcode::kOrImm:
+      if (a.pure_const()) return c(ua | imm64);
+      return SymVal::unknown();
+    case Opcode::kXorImm:
+      if (a.pure_const()) return c(ua ^ imm64);
+      return SymVal::unknown();
+    case Opcode::kShrImm:
+      if (a.pure_const()) return c(ua >> shift_amount(imm64));
+      return SymVal::unknown();
+    case Opcode::kCmpLt:
+      if (a.pure_const() && b.pure_const()) {
+        return c(static_cast<std::int64_t>(ua) < static_cast<std::int64_t>(ub)
+                     ? 1
+                     : 0);
+      }
+      return SymVal::unknown();
+    case Opcode::kCmpLtu:
+      if (a.pure_const() && b.pure_const()) return c(ua < ub ? 1 : 0);
+      return SymVal::unknown();
+    case Opcode::kCmpEq:
+      if (a.pure_const() && b.pure_const()) return c(ua == ub ? 1 : 0);
+      return SymVal::unknown();
+    case Opcode::kCmpNe:
+      if (a.pure_const() && b.pure_const()) return c(ua != ub ? 1 : 0);
+      return SymVal::unknown();
+    default:
+      return SymVal::unknown();
+  }
+}
+
+std::optional<std::uint64_t> read_image(const sim::Program& program,
+                                        std::uint64_t addr, int width) {
+  for (const auto& seg : program.segments) {
+    if (addr >= seg.addr && addr + width <= seg.addr + seg.bytes.size()) {
+      std::uint64_t v = 0;
+      for (int i = width - 1; i >= 0; --i) {
+        v = (v << 8) | seg.bytes[addr - seg.addr + i];
+      }
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<isa::Instruction> decode_at(const sim::Program& program,
+                                          std::uint64_t pc) {
+  std::array<std::uint8_t, isa::kInstructionSize> raw{};
+  for (int i = 0; i < static_cast<int>(raw.size()); ++i) {
+    auto b = read_image(program, pc + i, 1);
+    if (!b) return std::nullopt;
+    raw[i] = static_cast<std::uint8_t>(*b);
+  }
+  return isa::decode(raw);
+}
+
+bool in_image(const sim::Program& program, std::uint64_t addr, int width) {
+  for (const auto& seg : program.segments) {
+    if (addr >= seg.addr && addr + width <= seg.addr + seg.bytes.size()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t nl = source.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(source.substr(pos));
+      break;
+    }
+    lines.push_back(source.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+namespace {
+
+std::string strip_comment_and_trim(std::string_view line) {
+  bool in_string = false;
+  std::size_t end = line.size();
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"' && (i == 0 || line[i - 1] != '\\')) in_string = !in_string;
+    if (!in_string && (c == ';' || c == '#')) {
+      end = i;
+      break;
+    }
+  }
+  std::string_view s = line.substr(0, end);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return std::string(s);
+}
+
+/// Strips leading `ident:` label definitions from a cleaned statement.
+std::string strip_labels(std::string s) {
+  for (;;) {
+    std::size_t i = 0;
+    while (i < s.size() &&
+           (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_' ||
+            s[i] == '.')) {
+      ++i;
+    }
+    if (i == 0 || i >= s.size() || s[i] != ':') return s;
+    s = strip_comment_and_trim(s.substr(i + 1));
+  }
+}
+
+bool parse_i64(std::string_view s, std::int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string tmp(s);
+  const long long v = std::strtoll(tmp.c_str(), &end, 0);
+  if (end != tmp.c_str() + tmp.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> split_operands(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i < s.size() && s[i] == '"' && (i == 0 || s[i - 1] != '\\')) {
+      in_string = !in_string;
+    }
+    if (i == s.size() || (s[i] == ',' && !in_string)) {
+      out.push_back(strip_comment_and_trim(s.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// Byte length of a quoted `.ascii` operand (escape sequences are 1 byte).
+std::int64_t quoted_length(std::string_view s) {
+  if (s.size() < 2 || s.front() != '"' || s.back() != '"') return -1;
+  std::int64_t n = 0;
+  for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+    if (s[i] == '\\' && i + 2 < s.size()) ++i;
+    ++n;
+  }
+  return n;
+}
+
+/// Size contributed to the current section by a label-stripped statement,
+/// or -1 when it cannot be determined. `*off` is updated for `.align`.
+std::int64_t statement_size(const std::string& stmt, std::uint64_t* off) {
+  if (stmt.empty()) return 0;
+  if (stmt[0] != '.') return 8;  // instruction
+  const std::size_t sp = stmt.find_first_of(" \t");
+  const std::string dir = stmt.substr(0, sp);
+  const std::string rest =
+      sp == std::string::npos ? std::string() : strip_comment_and_trim(stmt.substr(sp));
+  if (dir == ".text" || dir == ".rodata" || dir == ".data" || dir == ".equ" ||
+      dir == ".entry" || dir == ".org") {
+    return 0;
+  }
+  if (dir == ".byte" || dir == ".word") {
+    const auto ops = split_operands(rest);
+    return static_cast<std::int64_t>(ops.size()) * (dir == ".byte" ? 1 : 8);
+  }
+  if (dir == ".ascii" || dir == ".asciz") {
+    const std::int64_t n = quoted_length(rest);
+    if (n < 0) return -1;
+    return dir == ".asciz" ? n + 1 : n;
+  }
+  if (dir == ".space") {
+    const auto ops = split_operands(rest);
+    std::int64_t n = 0;
+    if (ops.empty() || !parse_i64(ops[0], &n) || n < 0) return -1;
+    return n;
+  }
+  if (dir == ".align") {
+    std::int64_t n = 0;
+    if (!parse_i64(rest, &n) || n <= 0) return -1;
+    const std::uint64_t aligned =
+        (*off + static_cast<std::uint64_t>(n) - 1) /
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+    const std::int64_t pad = static_cast<std::int64_t>(aligned - *off);
+    return pad;
+  }
+  return -1;  // unknown directive
+}
+
+}  // namespace
+
+int find_text_statement(const std::vector<std::string>& lines,
+                        std::uint64_t text_off) {
+  enum Section { kText, kOther } section = kText;
+  std::uint64_t off = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string cleaned = strip_comment_and_trim(lines[i]);
+    if (cleaned == ".text") {
+      section = kText;
+      continue;
+    }
+    if (cleaned == ".rodata" || cleaned == ".data") {
+      section = kOther;
+      continue;
+    }
+    if (section != kText) continue;
+    const std::string stmt = strip_labels(cleaned);
+    const std::int64_t size = statement_size(stmt, &off);
+    if (size < 0) return -1;
+    if (off == text_off && !stmt.empty() && stmt[0] != '.' && size == 8) {
+      return static_cast<int>(i);
+    }
+    off += static_cast<std::uint64_t>(size);
+    if (off > text_off) break;
+  }
+  return -1;
+}
+
+std::vector<std::string> strip_layout_directives(const std::string& source) {
+  std::vector<std::string> out;
+  for (std::string& line : split_lines(source)) {
+    const std::string cleaned = strip_comment_and_trim(line);
+    if (cleaned.rfind(".org", 0) == 0 || cleaned.rfind(".entry", 0) == 0) {
+      continue;
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+std::string escape_ascii(const std::string& s) {
+  std::string out;
+  for (const char ch : s) {
+    switch (ch) {
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\0':
+        out += "\\0";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      default:
+        out += ch;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace crs::mine::detail

@@ -109,6 +109,17 @@ const Gadget* find_syscall(std::span<const Gadget> gadgets) {
   return nullptr;
 }
 
+std::uint32_t pop_register_mask(std::span<const Gadget> gadgets) {
+  std::uint32_t mask = 0;
+  for (const auto& g : gadgets) {
+    if (g.kind == GadgetKind::kPopReg && g.pop_register >= 0 &&
+        g.pop_register < 32) {
+      mask |= 1u << g.pop_register;
+    }
+  }
+  return mask;
+}
+
 std::string describe_catalog(std::span<const Gadget> gadgets) {
   std::string out;
   for (const auto& g : gadgets) {

@@ -69,6 +69,11 @@ const Gadget* find_pop(std::span<const Gadget> gadgets, int reg);
 /// First `syscall; ret` gadget, or nullptr.
 const Gadget* find_syscall(std::span<const Gadget> gadgets);
 
+/// Bit r set when the pool has a `pop rN; ret` gadget for register r — the
+/// one-call form of asking find_pop for every register (the miner's
+/// CR-Spectre drivability check).
+std::uint32_t pop_register_mask(std::span<const Gadget> gadgets);
+
 /// Human-readable catalogue (one gadget per line).
 std::string describe_catalog(std::span<const Gadget> gadgets);
 

@@ -22,6 +22,11 @@
 //                                     results identical for either — the
 //                                     engines are bit-identical)
 //   crs_matrix --bench-json <path>    append a perf record for the sweep
+//   crs_matrix --mined N              append up to N mined-gadget attack
+//                                     rows (gadget_hunter's miner over a
+//                                     seeded generated corpus) after the
+//                                     built-in attacks
+//   crs_matrix --mined-seed S         corpus seed for --mined (default 2026)
 //
 // Sweeps {spectre-pht, spectre-rsb, cr-spectre} × {mitigation presets} and
 // reports leak-success rate, HID detection over attack windows, mitigation
@@ -35,6 +40,7 @@
 
 #include "core/defense_matrix.hpp"
 #include "core/report.hpp"
+#include "mine/mine.hpp"
 #include "sim/cpu.hpp"
 #include "support/error.hpp"
 #include "support/flags.hpp"
@@ -51,9 +57,40 @@ int usage(const char* argv0) {
                "usage: %s [--quick] [--check] [--presets a,b,c] "
                "[--attempts N] [--seed S] [--csv <path>] [--json <path>] "
                "[--metrics <path>] [--threads N] [--snapshot on|off] "
-               "[--exec interp|blocks] [--bench-json <path>]\n",
+               "[--exec interp|blocks] [--bench-json <path>] "
+               "[--mined N] [--mined-seed S]\n",
                argv0);
   return 2;
+}
+
+/// Up to `count` extra attack rows from the gadget miner: a small seeded
+/// generated corpus is mined, and each scenario-eligible gadget becomes a
+/// standalone "mined-<class>-<k>" row. Deterministic in (seed, count).
+std::vector<core::AttackSpec> mined_attacks(
+    const core::DefenseMatrixConfig& config, int count, std::uint64_t seed) {
+  mine::CorpusOptions opt;
+  opt.generated = 8;
+  opt.seed = seed;
+  const mine::CorpusReport report = mine::mine_corpus(opt);
+  std::vector<core::AttackSpec> out;
+  for (const auto& b : report.binaries) {
+    for (const auto& g : b.gadgets) {
+      if (!g.scenario_eligible) continue;
+      if (static_cast<int>(out.size()) >= count) break;
+      core::AttackSpec a;
+      a.name = "mined-" + mine::gadget_class_name(g.cls) + "-" +
+               std::to_string(out.size());
+      a.scenario = mine::mined_scenario(g, config.secret, /*injected=*/false);
+      out.push_back(a);
+    }
+  }
+  if (static_cast<int>(out.size()) < count) {
+    std::fprintf(stderr,
+                 "[crs_matrix] corpus yielded %zu scenario-eligible mined "
+                 "gadget(s) (wanted %d)\n",
+                 out.size(), count);
+  }
+  return out;
 }
 
 void apply_exec_flag(const std::string& value) {
@@ -131,6 +168,8 @@ int main(int argc, char** argv) {
   try {
     core::DefenseMatrixConfig config;
     bool check = false;
+    int mined = 0;
+    std::uint64_t mined_seed = 2026;
     std::string csv_path, json_path, metrics_path, bench_json_path;
 
     std::string value;
@@ -149,6 +188,8 @@ int main(int argc, char** argv) {
       } else if (args.take_value("--json", json_path)) {
       } else if (args.take_value("--metrics", metrics_path)) {
       } else if (args.take_value("--bench-json", bench_json_path)) {
+      } else if (args.take_int("--mined", mined)) {
+      } else if (args.take_u64("--mined-seed", mined_seed)) {
       } else if (args.take_u64("--threads", u)) {
         set_thread_override(static_cast<unsigned>(u));
       } else if (args.take_value("--snapshot", value)) {
@@ -163,7 +204,11 @@ int main(int argc, char** argv) {
     }
 
     const auto t0 = std::chrono::steady_clock::now();
-    const core::DefenseMatrixResult result = core::run_defense_matrix(config);
+    const std::vector<core::AttackSpec> extra =
+        mined > 0 ? mined_attacks(config, mined, mined_seed)
+                  : std::vector<core::AttackSpec>{};
+    const core::DefenseMatrixResult result =
+        core::run_defense_matrix(config, extra);
     const double wall_ms = std::chrono::duration<double, std::milli>(
                                std::chrono::steady_clock::now() - t0)
                                .count();
