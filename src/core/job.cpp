@@ -103,6 +103,9 @@ void emit_scenario(std::string& out, const ScenarioConfig& c) {
   out += std::string("p.flushless=") + (p.flushless ? "1" : "0") + "\n";
   out += std::string("canary=") + (c.canary ? "1" : "0") + "\n";
   out += std::string("aslr=") + (c.aslr ? "1" : "0") + "\n";
+  out += "harden=" + c.harden.serialize() + "\n";
+  out += std::string("leak_stage=") + (c.leak_stage ? "1" : "0") + "\n";
+  out += std::string("spectre11=") + (c.spectre11 ? "1" : "0") + "\n";
   out += "mitigations=" + c.mitigations.serialize() + "\n";
   out += "seed=" + std::to_string(c.seed) + "\n";
   const hid::ProfilerConfig& pr = c.profiler;
@@ -160,6 +163,12 @@ bool apply_scenario_key(ScenarioConfig& c, const std::string& key,
     c.canary = parse_bool_field(key, value);
   } else if (key == "aslr") {
     c.aslr = parse_bool_field(key, value);
+  } else if (key == "harden") {
+    c.harden = harden::HardenConfig::parse(value);
+  } else if (key == "leak_stage") {
+    c.leak_stage = parse_bool_field(key, value);
+  } else if (key == "spectre11") {
+    c.spectre11 = parse_bool_field(key, value);
   } else if (key == "mitigations") {
     c.mitigations = mitigate::MitigationConfig::parse(value);
   } else if (key == "seed") {

@@ -20,15 +20,18 @@ namespace {
 double benign_ipc(const std::string& host, std::uint64_t scale,
                   const std::string& secret,
                   const hid::ProfilerConfig& prof, std::uint64_t seed,
-                  const mitigate::MitigationConfig& mitigations = {}) {
+                  const mitigate::MitigationConfig& mitigations = {},
+                  const harden::HardenConfig& harden = {}) {
   Rng rng(seed);
   workloads::WorkloadOptions wopt;
   wopt.scale = scale + rng.next_below(std::max<std::uint64_t>(scale / 8, 1));
   wopt.secret = secret;
+  wopt.canary = harden.canary;
   sim::MachineConfig mcfg;
   sim::KernelConfig kcfg;
   kcfg.seed = rng.next_u64();
   mitigations.apply(mcfg, kcfg);
+  harden.apply(kcfg);
   // Fast-reset path: machines come from a per-thread snapshot pool (keyed by
   // the post-mitigation machine config), rolled back to pristine on acquire.
   // The kernel is rebuilt per run — it is cheap, and holds all per-run state.
@@ -162,6 +165,23 @@ double mitigation_overhead_pct(const std::string& host, std::uint64_t scale,
   }
   const double base = baseline.mean();
   return base <= 0.0 ? 0.0 : 100.0 * (base - defended.mean()) / base;
+}
+
+double harden_overhead_pct(const std::string& host, std::uint64_t scale,
+                           const harden::HardenConfig& harden,
+                           const OverheadConfig& config) {
+  CRS_ENSURE(config.repeats > 0, "repeats must be positive");
+  Rng rng(config.seed);
+  OnlineStats baseline, hardened;
+  for (int r = 0; r < config.repeats; ++r) {
+    const std::uint64_t seed = rng.next_u64();
+    baseline.add(
+        benign_ipc(host, scale, config.secret, config.profiler, seed));
+    hardened.add(benign_ipc(host, scale, config.secret, config.profiler,
+                            seed, {}, harden));
+  }
+  const double base = baseline.mean();
+  return base <= 0.0 ? 0.0 : 100.0 * (base - hardened.mean()) / base;
 }
 
 }  // namespace crs::core

@@ -56,4 +56,13 @@ double mitigation_overhead_pct(const std::string& host, std::uint64_t scale,
                                const mitigate::MitigationConfig& mitigations,
                                const OverheadConfig& config = {});
 
+/// IPC overhead (percent, positive = slower) that a hardening configuration
+/// imposes on a clean, non-attacked host run (canary plant/check
+/// instructions, relocated layout, guarded-heap bookkeeping) — the harden
+/// sweep's cost column. Same paired-seed discipline as
+/// mitigation_overhead_pct.
+double harden_overhead_pct(const std::string& host, std::uint64_t scale,
+                           const harden::HardenConfig& harden,
+                           const OverheadConfig& config = {});
+
 }  // namespace crs::core

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "attack/spectre11.hpp"
 #include "casm/assembler.hpp"
 #include "casm/runtime.hpp"
+#include "rop/chain.hpp"
 #include "support/error.hpp"
 #include "support/memo.hpp"
 #include "support/rng.hpp"
@@ -14,6 +16,11 @@ namespace {
 
 constexpr const char* kHostPath = "/bin/host";
 constexpr const char* kAttackPath = "/bin/cr_spectre";
+constexpr const char* kProbePath = "/bin/layout_probe";
+/// Instruction budget for one leak-stage probe run. The scan is bounded
+/// (aslr_range/page candidates, 8 canary bytes), so a deterministic cap far
+/// above the worst case keeps a broken probe from hanging a campaign.
+constexpr std::uint64_t kProbeBudget = 50'000'000;
 
 // Process-wide content-addressed build caches (support/memo.hpp). The
 // builds are pure functions of their configs, so concurrent campaigns share
@@ -139,6 +146,35 @@ std::shared_ptr<const sim::Program> memo_mined_attack(
   });
 }
 
+std::shared_ptr<const sim::Program> memo_spectre11(
+    const attack::Spectre11Config& scfg) {
+  HashBuilder h;
+  h.str("spectre11")
+      .u64(scfg.target_secret_address)
+      .str(scfg.embed_secret)
+      .u32(scfg.secret_length)
+      .i64(scfg.train_iterations)
+      .u64(scfg.link_base)
+      .str(scfg.name);
+  return attack_cache().get_or_build(
+      h.digest(), [&] { return attack::build_spectre11_binary(scfg); });
+}
+
+std::shared_ptr<const sim::Program> memo_probe(const sim::Program& victim,
+                                               const sim::KernelConfig& kcfg,
+                                               bool leak_canary) {
+  HashBuilder h;
+  h.str("layout-probe")
+      .u64(sim::hash_program(victim))
+      .b(kcfg.aslr)
+      .u64(kcfg.aslr_range)
+      .b(leak_canary);
+  return attack_cache().get_or_build(h.digest(), [&] {
+    return harden::build_probe_binary(
+        harden::probe_config_for(victim, kcfg, leak_canary));
+  });
+}
+
 rop::ReconSpec make_recon_spec(const ScenarioConfig& config) {
   rop::ReconSpec rspec;
   rspec.path = kHostPath;
@@ -169,6 +205,10 @@ attack::AttackConfig make_attack_config(const ScenarioConfig& config,
 ScenarioSession::ScenarioSession(const ScenarioConfig& config)
     : config_(config), snapshot_mode_(fast_reset_enabled()) {
   CRS_ENSURE(!config_.secret.empty(), "scenario needs a secret");
+  CRS_ENSURE(!config_.leak_stage || config_.rop_injected,
+             "leak_stage requires a ROP-injected scenario");
+  CRS_ENSURE(!config_.spectre11 || !config_.rop_injected,
+             "spectre11 scenarios run standalone");
 
   // First draw of the per-attempt Rng(seed) stream: the host's work scale.
   // The session pins it to the session seed (run_attempt consumes-and-
@@ -178,7 +218,7 @@ ScenarioSession::ScenarioSession(const ScenarioConfig& config)
   wopt_.scale =
       config_.host_scale +
       rng.next_below(std::max<std::uint64_t>(config_.host_scale / 8, 1));
-  wopt_.canary = config_.canary;
+  wopt_.canary = config_.canary || config_.harden.canary;
   wopt_.secret = config_.secret;
 
   if (config_.rop_injected) {
@@ -192,8 +232,12 @@ ScenarioSession::ScenarioSession(const ScenarioConfig& config)
     kcfg_.aslr = config_.aslr;
   }
   config_.mitigations.apply(mcfg_, kcfg_);
+  config_.harden.apply(kcfg_);
+  if (config_.leak_stage) {
+    probe_ = memo_probe(*host_, kcfg_, wopt_.canary);
+  }
   build_machine();
-  ensure_attack_binary(config_.perturb_params);
+  ensure_attack_binary(config_.perturb_params, secret_address_);
 }
 
 void ScenarioSession::build_machine() {
@@ -202,22 +246,30 @@ void ScenarioSession::build_machine() {
   armed_ = mitigate::arm(*kernel_, config_.mitigations);
   if (host_) kernel_->register_binary(kHostPath, *host_);
   if (attack_) kernel_->register_binary(kAttackPath, *attack_);
+  if (probe_) kernel_->register_binary(kProbePath, *probe_);
   fresh_ = true;
 }
 
 void ScenarioSession::ensure_attack_binary(
-    const perturb::PerturbParams& params) {
-  if (attack_ && params == attack_params_) return;
+    const perturb::PerturbParams& params, std::uint64_t target_address) {
+  if (attack_ && params == attack_params_ && target_address == attack_target_)
+    return;
   ScenarioConfig cfg = config_;
   cfg.perturb_params = params;
-  if (!config_.mined_attack_source.empty()) {
-    attack_ = memo_mined_attack(config_, secret_address_,
-                                make_attack_config(cfg, secret_address_)
+  if (config_.spectre11) {
+    attack::Spectre11Config scfg;
+    scfg.embed_secret = config_.secret;
+    scfg.secret_length = static_cast<std::uint32_t>(config_.secret.size());
+    attack_ = memo_spectre11(scfg);
+  } else if (!config_.mined_attack_source.empty()) {
+    attack_ = memo_mined_attack(config_, target_address,
+                                make_attack_config(cfg, target_address)
                                     .link_base);
   } else {
-    attack_ = memo_attack(make_attack_config(cfg, secret_address_));
+    attack_ = memo_attack(make_attack_config(cfg, target_address));
   }
   attack_params_ = params;
+  attack_target_ = target_address;
   kernel_->register_binary(kAttackPath, *attack_);
 }
 
@@ -249,14 +301,50 @@ ScenarioRun ScenarioSession::run_attempt(std::uint64_t seed,
     snap_ = std::make_unique<sim::MachineSnapshot>(machine_->snapshot());
   }
   fresh_ = false;
-  ensure_attack_binary(params);
-  kernel_->reset_for_attempt(seed ^
-                             (config_.rop_injected ? 0x5A5Aull : 0xABCDull));
+
+  ScenarioRun out;
+  const std::uint64_t kernel_seed =
+      seed ^ (config_.rop_injected ? 0x5A5Aull : 0xABCDull);
+  std::uint64_t attack_target = secret_address_;
+  std::vector<std::uint8_t> payload_bytes;
+  if (config_.rop_injected) payload_bytes = plan_->payload.bytes;
+
+  if (config_.rop_injected && config_.leak_stage) {
+    // --- leak pass: same kernel seed ⇒ the loader replays the exact
+    // stack/image/canary draws of the exploit pass, but the entry point is
+    // hijacked to the speculative probe (argv lengths match the exploit's,
+    // so the marshalled stack pointer matches too).
+    kernel_->reset_for_attempt(kernel_seed);
+    std::vector<std::vector<std::uint8_t>> pargs;
+    pargs.emplace_back(config_.host.begin(), config_.host.end());
+    pargs.push_back(plan_->payload.bytes);
+    kernel_->start_probe(kHostPath, kProbePath, pargs);
+    if (kernel_->run(kProbeBudget) == sim::StopReason::kHalted) {
+      out.leak = harden::parse_probe_output(kernel_->output());
+      out.leak_stage_ran = true;
+      rop::LeakAdjust adj;
+      if (out.leak.found_base) adj.image_delta = out.leak.base_delta;
+      adj.stack_delta = out.leak.stack_pointer - plan_->frame.start_sp;
+      adj.patch_canary = wopt_.canary;
+      adj.canary = out.leak.canary;
+      payload_bytes = rop::patch_payload_for_leak(
+                          plan_->payload, plan_->frame.filler_length, adj)
+                          .bytes;
+      attack_target = secret_address_ + adj.image_delta;
+    }
+    // Roll the dirtied machine back for the exploit pass.
+    if (snapshot_mode_) {
+      machine_->restore(*snap_);
+    } else {
+      build_machine();
+    }
+  }
+
+  ensure_attack_binary(params, attack_target);
+  kernel_->reset_for_attempt(kernel_seed);
   // A fresh arm() starts with zero fence-pass stats every attempt; the
   // session's long-lived hook must look the same to summarize().
   *armed_.fence_stats = mitigate::FencePassStats{};
-
-  ScenarioRun out;
 
   if (!config_.rop_injected) {
     // Standalone ("traditional") Spectre: the attack binary runs directly.
@@ -268,13 +356,14 @@ ScenarioRun ScenarioSession::run_attempt(std::uint64_t seed,
     out.secret_recovered = out.recovered == config_.secret;
     out.host_ipc = 0.0;
     out.mitigation = mitigate::summarize(*machine_, *kernel_, armed_);
+    out.harden = harden::summarize(*kernel_, config_.harden);
     return out;
   }
 
   // --- CR-Spectre: ROP-injected into the host ---
   std::vector<std::vector<std::uint8_t>> args;
   args.emplace_back(config_.host.begin(), config_.host.end());
-  args.push_back(plan_->payload.bytes);
+  args.push_back(payload_bytes);
   out.profile = hid::profile_run(*kernel_, kHostPath, args, prof);
 
   // Ground-truth split. Sized up front; the samples are trivially copyable
@@ -305,6 +394,7 @@ ScenarioRun ScenarioSession::run_attempt(std::uint64_t seed,
                      : static_cast<double>(host_instr) /
                            static_cast<double>(host_cycles);
   out.mitigation = mitigate::summarize(*machine_, *kernel_, armed_);
+  out.harden = harden::summarize(*kernel_, config_.harden);
   return out;
 }
 
@@ -320,6 +410,8 @@ std::uint64_t hash_scenario_config(const ScenarioConfig& c) {
   h.str(c.mined_attack_source);
   hash_perturb(h, c.perturb_params);
   h.b(c.canary).b(c.aslr);
+  h.b(c.harden.aslr).b(c.harden.canary).b(c.harden.heap_guard);
+  h.b(c.leak_stage).b(c.spectre11);
   const mitigate::MitigationConfig& m = c.mitigations;
   h.b(m.fence_bounds)
       .b(m.slh)

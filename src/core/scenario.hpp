@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "attack/spectre.hpp"
+#include "harden/config.hpp"
+#include "harden/probe.hpp"
 #include "hid/profiler.hpp"
 #include "mitigate/config.hpp"
 #include "perturb/perturb.hpp"
@@ -60,6 +62,23 @@ struct ScenarioConfig {
   bool canary = false;
   bool aslr = false;
 
+  /// Host hardening layers (src/harden: ASLR incl. stack, canary, guarded
+  /// heap). Composes with the legacy `canary`/`aslr` booleans — the
+  /// effective setting is the OR — and lowers onto the kernel config the
+  /// same way mitigations do.
+  harden::HardenConfig harden;
+  /// Speculative leak stage (ROP-injected scenarios only): before the
+  /// exploit run, the attacker gets one probe execution against the
+  /// byte-identical randomized layout (same attempt seed ⇒ same loader
+  /// draws) that leaks the image base delta, the canary value and the stack
+  /// pointer through the transient channel; the payload and the attack
+  /// binary's secret address are then patched with the leaked values. This
+  /// is the paper's defense-awareness applied to host hardening.
+  bool leak_stage = false;
+  /// Standalone only: run the Spectre 1.1 speculative-store-overflow attack
+  /// binary (attack/spectre11.hpp) instead of the classic variant generator.
+  bool spectre11 = false;
+
   /// Active speculative-execution defenses (all off by default — the
   /// paper's undefended baseline).
   mitigate::MitigationConfig mitigations;
@@ -87,6 +106,13 @@ struct ScenarioRun {
   /// What the armed mitigations did during this run (all zero when
   /// config.mitigations is empty).
   mitigate::MitigationSummary mitigation;
+
+  /// What the hardening layers observed (all zero when config.harden is
+  /// empty; masked by the configured layers, like `mitigation`).
+  harden::HardenSummary harden;
+  /// Leak-stage results (set only when config.leak_stage ran the probe).
+  bool leak_stage_ran = false;
+  harden::ProbeLeak leak;
 };
 
 /// Reusable fast-reset execution context for repeated attempts of one
@@ -128,7 +154,8 @@ class ScenarioSession {
 
  private:
   void build_machine();
-  void ensure_attack_binary(const perturb::PerturbParams& params);
+  void ensure_attack_binary(const perturb::PerturbParams& params,
+                            std::uint64_t target_address);
 
   ScenarioConfig config_;
   bool snapshot_mode_;
@@ -136,8 +163,10 @@ class ScenarioSession {
   std::shared_ptr<const sim::Program> host_;        // null when standalone
   std::shared_ptr<const rop::InjectionPlan> plan_;  // null when standalone
   std::shared_ptr<const sim::Program> attack_;
+  std::shared_ptr<const sim::Program> probe_;       // leak-stage only
   perturb::PerturbParams attack_params_;
   std::uint64_t secret_address_ = 0;
+  std::uint64_t attack_target_ = 0;
   sim::MachineConfig mcfg_;
   sim::KernelConfig kcfg_;
   std::unique_ptr<sim::Machine> machine_;

@@ -8,6 +8,7 @@
 #include "attack/spectre.hpp"
 #include "casm/assembler.hpp"
 #include "casm/runtime.hpp"
+#include "harden/config.hpp"
 #include "obs/obs.hpp"
 #include "sim/snapshot.hpp"
 #include "support/memo.hpp"
@@ -364,10 +365,10 @@ std::string compare_results(const ExecResult& a, const ExecResult& b,
 
 namespace {
 
-std::optional<Divergence> check_assembled(const sim::Program& program,
-                                          bool uses_smc, bool uses_rdcycle,
-                                          const RunLimits& limits) {
-  const auto configs = standard_configs(/*timing_blind=*/!uses_rdcycle);
+std::optional<Divergence> run_config_set(const sim::Program& program,
+                                         const std::vector<ExecConfig>& configs,
+                                         bool uses_smc, const char* kind,
+                                         const RunLimits& limits) {
   std::vector<ExecResult> results;
   results.reserve(configs.size());
   for (const auto& cfg : configs) {
@@ -381,11 +382,17 @@ std::optional<Divergence> check_assembled(const sim::Program& program,
     const auto detail =
         compare_results(results[0], results[i], configs[i].arch_only);
     if (!detail.empty()) {
-      return Divergence{"differential", results[0].config, results[i].config,
-                        detail};
+      return Divergence{kind, results[0].config, results[i].config, detail};
     }
   }
   return std::nullopt;
+}
+
+std::optional<Divergence> check_assembled(const sim::Program& program,
+                                          bool uses_smc, bool uses_rdcycle,
+                                          const RunLimits& limits) {
+  return run_config_set(program, standard_configs(!uses_rdcycle), uses_smc,
+                        "differential", limits);
 }
 
 }  // namespace
@@ -400,6 +407,25 @@ std::optional<Divergence> check_source(const std::string& source,
                                        bool uses_smc, bool uses_rdcycle,
                                        const RunLimits& limits) {
   return check_assembled(assemble_fuzz(source), uses_smc, uses_rdcycle, limits);
+}
+
+std::optional<Divergence> check_hardened(const std::string& source,
+                                         bool uses_smc, bool uses_rdcycle,
+                                         std::uint64_t seed,
+                                         const RunLimits& limits) {
+  const sim::Program program = assemble_fuzz(source);
+  std::vector<ExecConfig> configs = standard_configs(!uses_rdcycle);
+  harden::HardenConfig harden;
+  harden.aslr = true;
+  harden.heap_guard = true;
+  for (auto& cfg : configs) {
+    cfg.name = "harden-" + cfg.name;
+    // One seed for every config: the loader's layout draws are the first
+    // things off the kernel RNG, so all configs see the same relocation.
+    cfg.kernel.seed = seed;
+    harden.apply(cfg.kernel);
+  }
+  return run_config_set(program, configs, uses_smc, "hardened", limits);
 }
 
 std::optional<Divergence> check_attack_leak(Rng& rng, const RunLimits& limits) {

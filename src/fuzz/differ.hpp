@@ -98,7 +98,8 @@ std::string compare_results(const ExecResult& a, const ExecResult& b,
 bool arch_comparable_event(sim::Event e);
 
 struct Divergence {
-  std::string kind;  ///< "differential" | "invariant" | "parallel" | "attack"
+  std::string kind;  ///< "differential" | "invariant" | "parallel" |
+                     ///< "attack" | "hardened"
   std::string config_a;
   std::string config_b;
   std::string detail;
@@ -114,6 +115,16 @@ std::optional<Divergence> check_program(const FuzzProgram& program,
 std::optional<Divergence> check_source(const std::string& source,
                                        bool uses_smc, bool uses_rdcycle,
                                        const RunLimits& limits = {});
+
+/// Hardened-layout oracle: the same program under a hardened kernel
+/// (seeded ASLR image/stack relocation + guarded heap) must execute
+/// bit-identically across the standard configs — the layout draws happen at
+/// load, before user code runs, so with a fixed kernel seed every engine
+/// and geometry sees the same relocated world. Divergence kind "hardened".
+std::optional<Divergence> check_hardened(const std::string& source,
+                                         bool uses_smc, bool uses_rdcycle,
+                                         std::uint64_t seed,
+                                         const RunLimits& limits = {});
 
 /// Leak oracle: builds a standalone flush+reload attack binary with
 /// randomized parameters and asserts the recovered secret bytes (and all

@@ -1,0 +1,298 @@
+#include "harden/probe.hpp"
+
+#include "casm/assembler.hpp"
+#include "casm/runtime.hpp"
+#include "sim/memory.hpp"
+#include "support/error.hpp"
+
+namespace crs::harden {
+
+namespace {
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+/// The probe's transient-dereference gadget: identical shape to the
+/// Spectre-PHT victim, but the out-of-bounds index is an arbitrary address
+/// candidate — possibly unmapped, in which case the wrong path squashes
+/// silently instead of crashing the process (the whole point of probing
+/// speculatively).
+std::string probe_victim_source() {
+  std::string s;
+  s += "probe_victim:\n";
+  s += "    movi r4, array1_size\n";
+  s += "    load r4, [r4]\n";
+  s += "    cmpltu r5, r1, r4\n";
+  s += "    beqz r5, probe_victim_done\n";
+  s += "    movi r6, array1\n";
+  s += "    add r6, r6, r1\n";
+  s += "    loadb r7, [r6]\n";  // candidate dereference (fault ⇒ squash)
+  s += "    muli r7, r7, 64\n";
+  s += "    movi r8, probe\n";
+  s += "    add r8, r8, r7\n";
+  s += "    loadb r9, [r8]\n";
+  s += "probe_victim_done:\n";
+  s += "    ret\n";
+  return s;
+}
+
+/// Mistrain the probe_victim bounds check toward "in bounds".
+std::string train_block(const ProbeConfig& c, const std::string& label) {
+  std::string s;
+  s += "    movi r13, " + num(c.train_iterations) + "\n";
+  s += label + ":\n";
+  s += "    movi r1, 1\n";
+  s += "    call probe_victim\n";
+  s += "    addi r13, r13, -1\n";
+  s += "    bnez r13, " + label + "\n";
+  return s;
+}
+
+/// Timed flush+reload of one probe line; falls through when hot, branches
+/// to `miss_label` when cold.
+std::string reload_check(const ProbeConfig& c, std::uint8_t byte,
+                         const std::string& miss_label) {
+  std::string s;
+  s += "    movi r6, probe\n";
+  s += "    movi r7, " + num(static_cast<std::uint64_t>(byte) * 64) + "\n";
+  s += "    add r6, r6, r7\n";
+  s += "    mfence\n";
+  s += "    rdcycle r2\n";
+  s += "    loadb r7, [r6]\n";
+  s += "    mov r12, r7\n";  // data dependency for the fence
+  s += "    mfence\n";
+  s += "    rdcycle r3\n";
+  s += "    sub r2, r3, r2\n";
+  s += "    movi r7, " + num(c.threshold) + "\n";
+  s += "    cmplt r7, r2, r7\n";
+  s += "    beqz r7, " + miss_label + "\n";
+  return s;
+}
+
+}  // namespace
+
+std::string generate_probe_source(const ProbeConfig& c) {
+  CRS_ENSURE(c.witness_addr[0] != 0 && c.witness_addr[1] != 0,
+             "probe witness addresses not set");
+  CRS_ENSURE(c.witness_byte[0] != c.witness_byte[1],
+             "probe witnesses must have distinct byte values");
+  CRS_ENSURE(c.witness_byte[0] != 1 && c.witness_byte[1] != 1,
+             "probe line 1 is polluted by mistraining");
+  CRS_ENSURE(c.scan_range >= c.page_size && c.page_size > 0,
+             "probe scan range must cover at least one candidate");
+  CRS_ENSURE(c.train_iterations > 0, "train_iterations must be positive");
+
+  std::string s;
+  s += "; speculative layout probe (BlindSide-style leak stage)\n";
+  s += ".org " + num(c.link_base) + "\n";
+  s += ".entry _start\n";
+  s += "_start:\n";
+  // Stage 3 first (it is free): the hijacked entry runs in the victim's
+  // context, so our entry sp IS the victim's randomized stack pointer.
+  s += "    mov r4, sp\n";
+  s += "    movi r5, leak_sp\n";
+  s += "    store [r5], r4\n";
+  // Not-found sentinel for the base scan.
+  s += "    movi r4, leak_delta\n";
+  s += "    movi r5, 0\n";
+  s += "    addi r5, r5, -1\n";
+  s += "    store [r4], r5\n";
+
+  // ---- stage 1: transient image-base scan ----
+  s += "    movi r14, 0\n";  // candidate delta
+  s += "scan_loop:\n";
+  s += train_block(c, "scan_train");
+  for (int w = 0; w < 2; ++w) {
+    // Flush this witness's probe line, delay the bounds resolution, then
+    // one transient dereference of (witness link address + candidate).
+    s += "    movi r5, probe\n";
+    s += "    movi r6, " +
+         num(static_cast<std::uint64_t>(c.witness_byte[w]) * 64) + "\n";
+    s += "    add r5, r5, r6\n";
+    s += "    clflush [r5]\n";
+    s += "    movi r4, array1_size\n";
+    s += "    clflush [r4]\n";
+    s += "    mfence\n";
+    s += "    movi r1, " + num(c.witness_addr[w]) + "\n";
+    s += "    add r1, r1, r14\n";
+    s += "    movi r2, array1\n";
+    s += "    sub r1, r1, r2\n";
+    s += "    call probe_victim\n";
+  }
+  // Both witness lines must be hot for a match.
+  s += reload_check(c, c.witness_byte[0], "scan_next");
+  s += reload_check(c, c.witness_byte[1], "scan_next");
+  s += "    movi r4, leak_delta\n";
+  s += "    store [r4], r14\n";
+  s += "    jmp scan_done\n";
+  s += "scan_next:\n";
+  s += "    movi r7, " + num(c.page_size) + "\n";
+  s += "    add r14, r14, r7\n";
+  s += "    movi r7, " + num(c.scan_range) + "\n";
+  s += "    cmpltu r7, r14, r7\n";
+  s += "    bnez r7, scan_loop\n";
+  s += "scan_done:\n";
+
+  // ---- stage 2: canary byte leak at the derandomized address ----
+  if (c.canary_addr != 0) {
+    s += "    movi r14, 0\n";  // canary byte index
+    s += "canary_loop:\n";
+    s += train_block(c, "canary_train");
+    s += "    movi r5, probe\n";
+    s += "    movi r6, 256\n";
+    s += "canary_flush:\n";
+    s += "    clflush [r5]\n";
+    s += "    addi r5, r5, 64\n";
+    s += "    addi r6, r6, -1\n";
+    s += "    bnez r6, canary_flush\n";
+    s += "    movi r4, array1_size\n";
+    s += "    clflush [r4]\n";
+    s += "    mfence\n";
+    s += "    movi r1, " + num(c.canary_addr) + "\n";
+    s += "    movi r4, leak_delta\n";
+    s += "    load r4, [r4]\n";
+    s += "    add r1, r1, r4\n";
+    s += "    add r1, r1, r14\n";
+    s += "    movi r2, array1\n";
+    s += "    sub r1, r1, r2\n";
+    s += "    call probe_victim\n";
+    // Min-latency scan over all 256 lines names the byte.
+    s += "    movi r5, 0\n";
+    s += "    movi r10, 100000\n";
+    s += "    movi r11, 0\n";
+    s += "canary_probe:\n";
+    s += "    muli r6, r5, 64\n";
+    s += "    movi r7, probe\n";
+    s += "    add r6, r7, r6\n";
+    s += "    mfence\n";
+    s += "    rdcycle r2\n";
+    s += "    loadb r7, [r6]\n";
+    s += "    mov r12, r7\n";
+    s += "    mfence\n";
+    s += "    rdcycle r3\n";
+    s += "    sub r2, r3, r2\n";
+    s += "    cmplt r7, r2, r10\n";
+    s += "    beqz r7, canary_next\n";
+    s += "    mov r10, r2\n";
+    s += "    mov r11, r5\n";
+    s += "canary_next:\n";
+    s += "    addi r5, r5, 1\n";
+    s += "    movi r7, 256\n";
+    s += "    cmpltu r7, r5, r7\n";
+    s += "    bnez r7, canary_probe\n";
+    s += "    movi r6, leak_canary_buf\n";
+    s += "    add r6, r6, r14\n";
+    s += "    storeb [r6], r11\n";
+    s += "    addi r14, r14, 1\n";
+    s += "    movi r7, 8\n";
+    s += "    cmpltu r7, r14, r7\n";
+    s += "    bnez r7, canary_loop\n";
+  }
+
+  // ---- exfiltrate the fixed {delta, canary, sp} record ----
+  s += "    movi r4, leak_delta\n";
+  s += "    load r5, [r4]\n";
+  s += "    movi r4, leak_record\n";
+  s += "    store [r4], r5\n";
+  s += "    movi r6, leak_canary_buf\n";
+  s += "    load r5, [r6]\n";
+  s += "    movi r4, leak_record\n";
+  s += "    addi r4, r4, 8\n";
+  s += "    store [r4], r5\n";
+  s += "    movi r6, leak_sp\n";
+  s += "    load r5, [r6]\n";
+  s += "    movi r4, leak_record\n";
+  s += "    addi r4, r4, 16\n";
+  s += "    store [r4], r5\n";
+  s += "    movi r1, leak_record\n";
+  s += "    movi r2, 24\n";
+  s += "    call print\n";
+  s += "    movi r1, 0\n";
+  s += "    call exit_\n";
+
+  s += probe_victim_source();
+
+  s += ".data\n";
+  s += "array1_size: .word 8\n";
+  s += "array1: .byte 0, 1, 2, 3, 4, 5, 6, 7\n";
+  s += ".align 64\n";
+  s += "probe: .space 16384\n";
+  s += ".align 64\n";
+  s += "leak_delta: .word 0\n";
+  s += "leak_canary_buf: .word 0\n";
+  s += "leak_sp: .word 0\n";
+  s += "leak_record: .space 24\n";
+  return s;
+}
+
+sim::Program build_probe_binary(const ProbeConfig& c) {
+  casm::AssembleOptions opt;
+  opt.name = c.name;
+  opt.link_base = c.link_base;
+  return casm::assemble(generate_probe_source(c) + casm::runtime_library(),
+                        opt);
+}
+
+ProbeConfig probe_config_for(const sim::Program& victim,
+                             const sim::KernelConfig& kernel,
+                             bool leak_canary) {
+  ProbeConfig c;
+  c.page_size = sim::Memory::kPageSize;
+  c.scan_range = kernel.aslr ? kernel.aslr_range : c.page_size;
+  c.train_iterations = 8;
+
+  const auto canary_sym = victim.symbols.find("__canary");
+  if (leak_canary && canary_sym != victim.symbols.end()) {
+    c.canary_addr = canary_sym->second;
+  }
+
+  // Witness bytes: two distinct nonzero code bytes of the public image,
+  // ≥ 64 bytes apart, from spans no relocation rewrites (relocated bytes
+  // differ between the static image the attacker has and the loaded one).
+  int found = 0;
+  for (std::size_t si = 0; si < victim.segments.size() && found < 2; ++si) {
+    const sim::Segment& seg = victim.segments[si];
+    if ((seg.perm & sim::kPermExec) == 0) continue;
+    const auto relocated = [&](std::uint64_t off) {
+      for (const sim::Relocation& rel : victim.relocations) {
+        if (rel.segment != si) continue;
+        const std::uint64_t width =
+            rel.kind == sim::RelocKind::kImm32 ? 4 : 8;
+        if (off >= rel.offset && off < rel.offset + width) return true;
+      }
+      return false;
+    };
+    for (std::uint64_t off = 0; off < seg.bytes.size() && found < 2; ++off) {
+      const std::uint8_t b = seg.bytes[off];
+      // Value 1 is the mistraining index: its probe line is hot from the
+      // train loop itself, so it can never serve as a witness.
+      if (b == 0 || b == 1 || relocated(off)) continue;
+      if (found == 1) {
+        if (b == c.witness_byte[0]) continue;
+        if (seg.addr + off < c.witness_addr[0] + 64) continue;
+      }
+      c.witness_addr[found] = seg.addr + off;
+      c.witness_byte[found] = b;
+      ++found;
+    }
+  }
+  CRS_ENSURE(found == 2, "probe_config_for: victim image '" + victim.name +
+                             "' has too few witness bytes");
+  return c;
+}
+
+ProbeLeak parse_probe_output(const std::vector<std::uint8_t>& output) {
+  ProbeLeak leak;
+  if (output.size() < 24) return leak;
+  const auto u64_at = [&](std::size_t off) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | output[off + static_cast<std::size_t>(i)];
+    return v;
+  };
+  leak.base_delta = u64_at(0);
+  leak.canary = u64_at(8);
+  leak.stack_pointer = u64_at(16);
+  leak.found_base = leak.base_delta != ~0ull;
+  return leak;
+}
+
+}  // namespace crs::harden

@@ -1,0 +1,88 @@
+// Speculative probing of a hardened host's randomized layout.
+//
+// Models the BlindSide-style leak stage (Mambretti et al., PAPERS.md): an
+// attacker who hijacked the entry of a hardened process cannot dereference
+// ASLR candidates architecturally — one unmapped guess kills the process —
+// but a *transient* dereference behind a mistrained bounds check squashes
+// silently on a fault and fills a flush+reload probe line on a hit. The
+// generated probe binary runs on the victim's own stack (Kernel::
+// start_probe) and leaks, in order:
+//
+//   1. image base — for each page-aligned ASLR delta candidate it
+//      transiently loads two known witness bytes of the victim's public
+//      binary at (link-time address + candidate) and flush+reloads exactly
+//      the two probe lines those byte values select; both hot ⇒ the
+//      candidate is the real delta. Unmapped candidates squash without a
+//      fill; requiring two distinct witness bytes kills coincidental
+//      matches. The scan is in ascending candidate order, first match wins
+//      — fully deterministic.
+//   2. canary — eight classic Spectre-PHT byte leaks of the victim's
+//      `__canary` slot at its now-derandomized address.
+//   3. stack base — read architecturally: the hijacked entry *is* the
+//      victim's context, so the probe's own entry sp is the victim's.
+//
+// The probe SYS_WRITEs a fixed 24-byte record {delta, canary, sp} (LE) and
+// exits; parse_probe_output turns it into a ProbeLeak that parameterizes
+// the ROP injection (rop::patch_payload_for_leak).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/program.hpp"
+
+namespace crs::harden {
+
+struct ProbeConfig {
+  /// Two witness bytes of the victim's public image: link-time absolute
+  /// addresses and the (distinct, nonzero) byte values there. Chosen by
+  /// probe_config_for from bytes no relocation rewrites.
+  std::uint64_t witness_addr[2] = {0, 0};
+  std::uint8_t witness_byte[2] = {0, 0};
+
+  /// Link-time address of the victim's `__canary` slot; 0 = skip stage 2.
+  std::uint64_t canary_addr = 0;
+
+  /// Bytes of delta space to scan (kernel aslr_range when ASLR is on, one
+  /// page — the single candidate 0 — when it is off).
+  std::uint64_t scan_range = 4096;
+  std::uint64_t page_size = 4096;
+
+  std::uint32_t threshold = 60;  ///< hot-line cutoff, cycles
+  int train_iterations = 8;      ///< PHT mistraining calls per window
+
+  /// The probe's own link base: clear of the victim window (0x10000 +
+  /// 4 MiB ASLR range) and the injected attack image (0x300000 + range).
+  std::uint64_t link_base = 0x500000;
+  std::string name = "spec_probe";
+};
+
+/// What the probe leaked, parsed from its output record.
+struct ProbeLeak {
+  bool found_base = false;        ///< base scan hit a candidate
+  std::uint64_t base_delta = 0;   ///< victim image load delta
+  std::uint64_t canary = 0;       ///< leaked canary value (0 if skipped)
+  std::uint64_t stack_pointer = 0;  ///< victim entry sp
+};
+
+/// Builds a ProbeConfig against `victim` (the registered host program):
+/// witness bytes from its executable segment avoiding relocated spans,
+/// canary stage iff the image declares `__canary` and `leak_canary`, scan
+/// range from the kernel's ASLR settings.
+ProbeConfig probe_config_for(const sim::Program& victim,
+                             const sim::KernelConfig& kernel,
+                             bool leak_canary);
+
+/// Assembly source of the probe binary (inspectable / disassemblable).
+std::string generate_probe_source(const ProbeConfig& config);
+
+/// Assembled probe binary ready for Kernel::register_binary.
+sim::Program build_probe_binary(const ProbeConfig& config);
+
+/// Parses the probe's 24-byte output record. Returns found_base = false
+/// when the record is short or the scan wrote its not-found sentinel.
+ProbeLeak parse_probe_output(const std::vector<std::uint8_t>& output);
+
+}  // namespace crs::harden

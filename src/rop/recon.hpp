@@ -26,6 +26,10 @@ struct FrameRecon {
   std::uint64_t return_slot = 0;     ///< address of the saved return address
   std::uint64_t resume_address = 0;  ///< original value of the return slot
   std::uint64_t filler_length = 0;   ///< return_slot - buffer_address
+  /// Program-entry sp of the recon run (argv lengths marshalled, 16-aligned).
+  /// The leak stage rebases stack addresses as (leaked sp − start_sp): with
+  /// length-matched argv the whole frame shifts rigidly under stack ASLR.
+  std::uint64_t start_sp = 0;
 };
 
 struct ReconSpec {

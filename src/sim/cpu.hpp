@@ -126,6 +126,7 @@ enum class FaultKind {
   kReadPermission,
   kWritePermission,
   kStackCanary,        ///< raised by the kernel's canary-check syscall
+  kHeapRedzone,        ///< torn guarded-heap redzone caught on SYS_HEAP_FREE
 };
 
 struct Fault {

@@ -11,6 +11,13 @@ namespace crs::sim {
 namespace {
 constexpr std::uint64_t kMaxWriteLen = 1 << 20;
 constexpr std::uint64_t kMaxPathLen = 256;
+constexpr std::uint64_t kRedzoneBytes = 16;
+
+// Position-dependent redzone fill: a constant-byte overflow (memset-style)
+// still tears it, unlike a single magic byte.
+std::uint8_t redzone_byte(std::uint64_t addr, std::uint64_t i) {
+  return static_cast<std::uint8_t>(0xA5u ^ (addr >> 4) ^ (i * 0x3Bu));
+}
 }  // namespace
 
 Machine::Machine(const MachineConfig& config)
@@ -60,6 +67,7 @@ LoadInfo Kernel::map_image(const std::string& path, const Program& program) {
       placed = fits(delta);
     }
     CRS_ENSURE(placed, "ASLR could not place image '" + program.name + "'");
+    ++hstats_.images_randomized;
   } else {
     CRS_ENSURE(fits(0), "image '" + program.name + "' does not fit");
   }
@@ -105,6 +113,7 @@ LoadInfo Kernel::map_image(const std::string& path, const Program& program) {
   const auto canary_sym = program.symbols.find("__canary");
   if (canary_sym != program.symbols.end()) {
     mem.write_u64(canary_sym->second + delta, rng_.next_u64());
+    ++hstats_.canaries_planted;
   }
 
   loaded_[path] = info;
@@ -117,6 +126,18 @@ LoadInfo Kernel::map_image(const std::string& path, const Program& program) {
 
 void Kernel::start(const std::string& path,
                    std::span<const std::vector<std::uint8_t>> args) {
+  start_impl(path, args, nullptr);
+}
+
+void Kernel::start_probe(const std::string& victim_path,
+                         const std::string& probe_path,
+                         std::span<const std::vector<std::uint8_t>> args) {
+  start_impl(victim_path, args, &probe_path);
+}
+
+void Kernel::start_impl(const std::string& path,
+                        std::span<const std::vector<std::uint8_t>> args,
+                        const std::string* probe_path) {
   const auto it = registry_.find(path);
   CRS_ENSURE(it != registry_.end(), "start: unknown binary '" + path + "'");
 
@@ -127,11 +148,21 @@ void Kernel::start(const std::string& path,
   loaded_.clear();
   load_order_.clear();
   injected_stack_tops_.clear();
+  heap_bump_ = config_.heap_base;
+  heap_chunks_.clear();
   // If a prior run stopped mid-injection (e.g. instruction limit) the host's
   // data pages are still kPermNone; restore them before the old mapping is
   // forgotten, or the new (ASLR-shifted) image may not re-cover those pages.
   ward_unlock_host();
   next_stack_top_ = machine_.memory().size();
+  if (config_.aslr_stack) {
+    // Stack ASLR: the whole carve shifts down by a page-aligned delta. This
+    // is the FIRST draw of a run, before map_image's image delta and canary
+    // draws, so probe and exploit passes replay the same layout.
+    const std::uint64_t pages = config_.aslr_stack_range / Memory::kPageSize;
+    next_stack_top_ -= rng_.next_below(pages) * Memory::kPageSize;
+    ++hstats_.stacks_randomized;
+  }
 
   // Carve the main stack from the top of memory (RW, not executable: DEP).
   Memory& mem = machine_.memory();
@@ -167,6 +198,17 @@ void Kernel::start(const std::string& path,
   cpu.set_reg(1, args.size());
   cpu.set_reg(2, argv_ptrs);
   cpu.set_reg(3, arg_lens);
+
+  if (probe_path) {
+    // Every victim draw is done; mapping the probe afterwards cannot shift
+    // the layout under study. The probe runs on the victim's stack with the
+    // victim's argv — a hijacked entry, not a separate process.
+    const auto pit = registry_.find(*probe_path);
+    CRS_ENSURE(pit != registry_.end(),
+               "start_probe: unknown binary '" + *probe_path + "'");
+    const LoadInfo pinfo = map_image(*probe_path, pit->second);
+    cpu.set_pc(pinfo.entry);
+  }
 }
 
 void Kernel::start_with_strings(const std::string& path,
@@ -300,13 +342,92 @@ SyscallOutcome Kernel::handle_syscall(Cpu& cpu) {
       return SyscallOutcome::kContinue;
     }
     case kSysAbort:
+      ++hstats_.canary_aborts;
       obs::trace_instant("kernel.abort", cpu.cycle());
       cpu.raise_fault(FaultKind::kStackCanary, cpu.sp());
       return SyscallOutcome::kHalt;
+    case kSysHeapAlloc:
+      return do_heap_alloc(cpu);
+    case kSysHeapFree:
+      return do_heap_free(cpu);
     default:
       cpu.set_reg(0, static_cast<std::uint64_t>(-1));  // ENOSYS
       return SyscallOutcome::kContinue;
   }
+}
+
+SyscallOutcome Kernel::do_heap_alloc(Cpu& cpu) {
+  std::uint64_t size = std::max<std::uint64_t>(cpu.reg(1), 1);
+  size = (size + 15) & ~15ull;  // 16-byte granules
+  // Free-list reuse first (first fit); the chunk keeps its original carve.
+  for (HeapChunk& chunk : heap_chunks_) {
+    if (!chunk.live && chunk.size >= size) {
+      chunk.live = true;
+      ++hstats_.heap_allocs;
+      if (config_.heap_guard) paint_redzones(chunk);
+      cpu.set_reg(0, chunk.addr);
+      return SyscallOutcome::kContinue;
+    }
+  }
+  const std::uint64_t guard = config_.heap_guard ? kRedzoneBytes : 0;
+  const std::uint64_t need = size + 2 * guard;
+  const std::uint64_t heap_end = config_.heap_base + config_.heap_size;
+  CRS_ENSURE(heap_end <= machine_.memory().size(),
+             "heap region exceeds machine memory");
+  if (heap_bump_ + need > heap_end) {
+    cpu.set_reg(0, 0);  // out of heap
+    return SyscallOutcome::kContinue;
+  }
+  const std::uint64_t lo = heap_bump_;
+  heap_bump_ += need;
+  machine_.memory().set_permissions(lo, need, kPermRW);
+  HeapChunk chunk{lo + guard, size, true};
+  if (config_.heap_guard) paint_redzones(chunk);
+  heap_chunks_.push_back(chunk);
+  ++hstats_.heap_allocs;
+  cpu.set_reg(0, chunk.addr);
+  return SyscallOutcome::kContinue;
+}
+
+SyscallOutcome Kernel::do_heap_free(Cpu& cpu) {
+  const std::uint64_t addr = cpu.reg(1);
+  for (HeapChunk& chunk : heap_chunks_) {
+    if (chunk.addr != addr || !chunk.live) continue;
+    if (config_.heap_guard && !check_redzones(chunk)) {
+      ++hstats_.redzone_violations;
+      obs::trace_instant("kernel.redzone", cpu.cycle());
+      cpu.raise_fault(FaultKind::kHeapRedzone, chunk.addr);
+      return SyscallOutcome::kHalt;
+    }
+    chunk.live = false;
+    ++hstats_.heap_frees;
+    cpu.set_reg(0, 0);
+    return SyscallOutcome::kContinue;
+  }
+  cpu.set_reg(0, static_cast<std::uint64_t>(-1));  // unknown or double free
+  return SyscallOutcome::kContinue;
+}
+
+void Kernel::paint_redzones(const HeapChunk& chunk) {
+  Memory& mem = machine_.memory();
+  for (std::uint64_t i = 0; i < kRedzoneBytes; ++i) {
+    mem.write_u8(chunk.addr - kRedzoneBytes + i, redzone_byte(chunk.addr, i));
+    mem.write_u8(chunk.addr + chunk.size + i,
+                 redzone_byte(chunk.addr, kRedzoneBytes + i));
+  }
+}
+
+bool Kernel::check_redzones(const HeapChunk& chunk) {
+  Memory& mem = machine_.memory();
+  bool ok = true;
+  hstats_.redzone_bytes_checked += 2 * kRedzoneBytes;
+  for (std::uint64_t i = 0; i < kRedzoneBytes; ++i) {
+    ok &= mem.read_u8(chunk.addr - kRedzoneBytes + i) ==
+          redzone_byte(chunk.addr, i);
+    ok &= mem.read_u8(chunk.addr + chunk.size + i) ==
+          redzone_byte(chunk.addr, kRedzoneBytes + i);
+  }
+  return ok;
 }
 
 SyscallOutcome Kernel::do_execve(Cpu& cpu) {

@@ -39,6 +39,8 @@ enum Syscall : std::uint64_t {
   kSysExecve = 2,     ///< r1 = address of NUL-terminated path string
   kSysGetRandom = 3,  ///< r1 = addr, r2 = len
   kSysAbort = 4,      ///< canary-check failure: fault + kill
+  kSysHeapAlloc = 5,  ///< r1 = size → r0 = chunk address (0 on failure)
+  kSysHeapFree = 6,   ///< r1 = chunk address → r0 = 0 (-1 on unknown chunk)
 };
 
 struct MachineConfig {
@@ -105,6 +107,20 @@ struct KernelConfig {
   /// Randomise image bases (page-aligned) within [0, aslr_range).
   bool aslr = false;
   std::uint64_t aslr_range = 4 * 1024 * 1024;
+  /// Randomise the main/injected stack region too: the whole stack carve
+  /// shifts down by a page-aligned delta in [0, aslr_stack_range). Kept
+  /// separate from `aslr` so existing image-only ASLR scenarios replay the
+  /// exact RNG stream they always had.
+  bool aslr_stack = false;
+  std::uint64_t aslr_stack_range = 1 * 1024 * 1024;
+  /// Guarded heap: SYS_HEAP_ALLOC carves pattern-filled redzones around
+  /// every chunk and SYS_HEAP_FREE verifies them, faulting the process on a
+  /// torn redzone (heap-overflow catch). Off: plain bump/free-list heap.
+  bool heap_guard = false;
+  /// Heap region placement — above the 4 MiB ASLR image window, below the
+  /// stacks carved from the top of memory.
+  std::uint64_t heap_base = 8 * 1024 * 1024;
+  std::uint64_t heap_size = 1 * 1024 * 1024;
   std::uint64_t seed = 0xC0FFEE;
   /// Maximum nested execve depth (the CR-Spectre chain needs 1).
   int max_execve_depth = 2;
@@ -144,6 +160,20 @@ struct KernelMitigationStats {
   std::uint64_t ward_pages_locked = 0;
 };
 
+/// What the hardening layer (src/harden) did. Same discipline as
+/// KernelMitigationStats: plain unconditional counters behind off-by-default
+/// config flags; harden::summarize masks them by the active HardenConfig.
+struct KernelHardenStats {
+  std::uint64_t images_randomized = 0;  ///< map_image calls that drew a base
+  std::uint64_t stacks_randomized = 0;  ///< start() stack-base draws
+  std::uint64_t canaries_planted = 0;   ///< __canary publications
+  std::uint64_t canary_aborts = 0;      ///< SYS_ABORT canary kills
+  std::uint64_t heap_allocs = 0;
+  std::uint64_t heap_frees = 0;
+  std::uint64_t redzone_bytes_checked = 0;
+  std::uint64_t redzone_violations = 0;  ///< torn redzones caught on free
+};
+
 class Kernel {
  public:
   /// Observes every image (re)load. Runs after the bytes and permissions
@@ -173,6 +203,17 @@ class Kernel {
   /// Convenience: args as strings.
   void start_with_strings(const std::string& path,
                           const std::vector<std::string>& args);
+
+  /// Loads `victim_path` exactly as start(victim_path, args) would — the
+  /// RNG draw order (stack delta, image delta, canary value) is identical,
+  /// so the victim's randomized layout matches the run the attacker is
+  /// probing — then maps `probe_path` on top and enters IT instead, on the
+  /// victim's stack. Models a speculative-probing attacker (BlindSide-style)
+  /// who hijacked the hardened process's entry and scans its layout through
+  /// the transient channel before committing to an injection.
+  void start_probe(const std::string& victim_path,
+                   const std::string& probe_path,
+                   std::span<const std::vector<std::uint8_t>> args = {});
 
   StopReason run(std::uint64_t max_instructions);
   StopReason run_until_cycle(std::uint64_t cycle_target,
@@ -214,6 +255,9 @@ class Kernel {
   /// Activity of the armed kernel-side mitigations (all zero by default).
   const KernelMitigationStats& mitigation_stats() const { return kstats_; }
 
+  /// Activity of the hardening layer since the last reset/attempt.
+  const KernelHardenStats& harden_stats() const { return hstats_; }
+
  private:
   struct SavedContext {
     std::uint64_t regs[isa::kNumRegisters];
@@ -228,9 +272,24 @@ class Kernel {
     Perm perm;
   };
 
+  /// One guarded-heap chunk. `addr` is the user pointer (past the leading
+  /// redzone when heap_guard is on); dead chunks form the free list.
+  struct HeapChunk {
+    std::uint64_t addr = 0;
+    std::uint64_t size = 0;
+    bool live = false;
+  };
+
   LoadInfo map_image(const std::string& path, const Program& program);
+  void start_impl(const std::string& path,
+                  std::span<const std::vector<std::uint8_t>> args,
+                  const std::string* probe_path);
   SyscallOutcome handle_syscall(Cpu& cpu);
   SyscallOutcome do_execve(Cpu& cpu);
+  SyscallOutcome do_heap_alloc(Cpu& cpu);
+  SyscallOutcome do_heap_free(Cpu& cpu);
+  void paint_redzones(const HeapChunk& chunk);
+  bool check_redzones(const HeapChunk& chunk);
   void switch_hygiene(Cpu& cpu);
   void ward_lock_host();
   void ward_unlock_host();
@@ -250,8 +309,12 @@ class Kernel {
   std::int64_t exit_code_ = 0;
   int execve_count_ = 0;
 
+  std::uint64_t heap_bump_ = 0;  // next fresh carve inside the heap region
+  std::vector<HeapChunk> heap_chunks_;
+
   LoadHook load_hook_;
   KernelMitigationStats kstats_;
+  KernelHardenStats hstats_;
   std::vector<WardLock> ward_locks_;
 };
 

@@ -141,6 +141,9 @@ void Kernel::reset_for_attempt(std::uint64_t seed) {
   // start().
   rng_ = Rng(seed);
   kstats_ = {};
+  hstats_ = {};
+  heap_bump_ = config_.heap_base;
+  heap_chunks_.clear();
   ward_locks_.clear();
 }
 
@@ -209,6 +212,11 @@ std::uint64_t hash_kernel_config(const KernelConfig& config) {
   h.u64(config.stack_size)
       .b(config.aslr)
       .u64(config.aslr_range)
+      .b(config.aslr_stack)
+      .u64(config.aslr_stack_range)
+      .b(config.heap_guard)
+      .u64(config.heap_base)
+      .u64(config.heap_size)
       .u64(config.seed)
       .i64(config.max_execve_depth)
       .b(config.flush_predictors_on_switch)

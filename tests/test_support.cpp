@@ -4,6 +4,7 @@
 #include <set>
 
 #include "support/error.hpp"
+#include "support/flags.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/strings.hpp"
@@ -183,6 +184,150 @@ TEST(Table, MissingCellsRenderEmpty) {
   Table t({"a", "b"});
   t.add_row({"only"});
   EXPECT_NO_THROW(t.render());
+}
+
+// Builds a FlagCursor over a fake argv ("test" + the given arguments).
+// The vector must outlive the cursor; keeping both in one fixture struct
+// makes that automatic.
+struct Argv {
+  explicit Argv(std::vector<std::string> args) : storage(std::move(args)) {
+    ptrs.push_back(const_cast<char*>("test"));
+    for (auto& a : storage) ptrs.push_back(a.data());
+  }
+  FlagCursor cursor() {
+    return FlagCursor(static_cast<int>(ptrs.size()), ptrs.data());
+  }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+};
+
+TEST(FlagCursor, TakeValueSpacedAndInline) {
+  Argv a({"--seed", "7", "--out=path.csv", "--empty="});
+  auto args = a.cursor();
+  std::string v;
+  EXPECT_TRUE(args.take_value("--seed", v));
+  EXPECT_EQ(v, "7");
+  EXPECT_TRUE(args.take_value("--out", v));
+  EXPECT_EQ(v, "path.csv");
+  v = "sentinel";
+  EXPECT_TRUE(args.take_value("--empty", v));
+  EXPECT_EQ(v, "");  // `--flag=` is provided-but-empty, not missing
+  EXPECT_FALSE(args.more());
+}
+
+TEST(FlagCursor, MissingValueThrowsNamedError) {
+  Argv a({"--seed"});
+  auto args = a.cursor();
+  std::string v;
+  try {
+    args.take_value("--seed", v);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "--seed needs a value");
+  }
+}
+
+TEST(FlagCursor, BadU64Throws) {
+  Argv a({"--seed", "12x"});
+  auto args = a.cursor();
+  std::uint64_t v = 0;
+  try {
+    args.take_u64("--seed", v);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsigned integer"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("12x"), std::string::npos);
+  }
+}
+
+TEST(FlagCursor, U64ParsesHexAndDecimal) {
+  Argv a({"--a", "0x10", "--b=42"});
+  auto args = a.cursor();
+  std::uint64_t v = 0;
+  EXPECT_TRUE(args.take_u64("--a", v));
+  EXPECT_EQ(v, 16u);
+  EXPECT_TRUE(args.take_u64("--b", v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(FlagCursor, BadIntThrows) {
+  Argv a({"--attempts", "many"});
+  auto args = a.cursor();
+  int v = 0;
+  try {
+    args.take_int("--attempts", v);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("integer"), std::string::npos);
+  }
+  // Empty inline value is also a parse error, not a silent zero.
+  Argv b({"--attempts="});
+  auto bargs = b.cursor();
+  EXPECT_THROW(bargs.take_int("--attempts", v), Error);
+}
+
+TEST(FlagCursor, IntParsesNegative) {
+  Argv a({"--delta", "-3"});
+  auto args = a.cursor();
+  int v = 0;
+  EXPECT_TRUE(args.take_int("--delta", v));
+  EXPECT_EQ(v, -3);
+}
+
+TEST(FlagCursor, DuplicateFlagLastWins) {
+  // The standard tool loop consumes each occurrence in order, so a
+  // duplicated flag resolves to its final value rather than erroring.
+  Argv a({"--seed", "1", "--seed", "9"});
+  auto args = a.cursor();
+  std::uint64_t seed = 0;
+  while (args.more()) {
+    if (args.take_u64("--seed", seed)) continue;
+    args.unknown();
+  }
+  EXPECT_EQ(seed, 9u);
+}
+
+TEST(FlagCursor, UnknownFlagThrows) {
+  Argv a({"--nope"});
+  auto args = a.cursor();
+  try {
+    args.unknown();
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "unknown flag '--nope'");
+  }
+}
+
+TEST(FlagCursor, MoreFlagsStopsAtPositional) {
+  Argv a({"--quick", "prog.s", "--after"});
+  auto args = a.cursor();
+  EXPECT_TRUE(args.take("--quick"));
+  EXPECT_FALSE(args.more_flags());  // "prog.s" is positional
+  EXPECT_EQ(args.take_positional(), "prog.s");
+  EXPECT_TRUE(args.more_flags());
+}
+
+TEST(FlagCursor, PrefixDoesNotMatchValueFlag) {
+  // "--seedling" must not be consumed by take_value("--seed", ...).
+  Argv a({"--seedling", "x"});
+  auto args = a.cursor();
+  std::string v;
+  EXPECT_FALSE(args.take_value("--seed", v));
+  EXPECT_EQ(args.current(), "--seedling");
+}
+
+TEST(ParseOnOff, AcceptsCanonicalSpellingsRejectsRest) {
+  EXPECT_TRUE(parse_on_off("--snapshot", "on"));
+  EXPECT_TRUE(parse_on_off("--snapshot", "1"));
+  EXPECT_FALSE(parse_on_off("--snapshot", "off"));
+  EXPECT_FALSE(parse_on_off("--snapshot", "0"));
+  try {
+    parse_on_off("--snapshot", "yes");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("--snapshot"), std::string::npos);
+  }
 }
 
 TEST(Error, EnsureThrowsWithContext) {

@@ -1,7 +1,8 @@
 // crs_fuzz — differential fuzzer + golden-trace manager for the simulator.
 //
 //   crs_fuzz [--seed S] [--iters N | --seconds T] [--corpus DIR]
-//            [--max-instructions M] [--attack-every K] [--threads N]
+//            [--max-instructions M] [--attack-every K] [--harden-every K]
+//            [--threads N]
 //            [--exec interp|blocks] [--no-smc] [--no-pivot] [--no-perturb]
 //            [--max-repros R]
 //   crs_fuzz --update-golden [DIR]     regenerate tests/golden CSVs
@@ -66,6 +67,7 @@ struct Options {
   std::string golden_dir = CRS_GOLDEN_DIR;
   std::uint64_t max_instructions = 2'000'000;
   std::uint64_t attack_every = 13;
+  std::uint64_t harden_every = 7;
   unsigned threads = 0;
   int parallel_batch = 8;
   int max_repros = 10;
@@ -82,7 +84,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: crs_fuzz [--seed S] [--iters N | --seconds T] [--corpus DIR]\n"
-      "                [--max-instructions M] [--attack-every K] [--threads N]\n"
+      "                [--max-instructions M] [--attack-every K]\n"
+      "                [--harden-every K] [--threads N]\n"
       "                [--exec interp|blocks] [--parallel-batch B]\n"
       "                [--max-repros R] [--no-smc] [--no-pivot] [--no-perturb]\n"
       "       crs_fuzz --update-golden [DIR]\n"
@@ -114,6 +117,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!next(opt.max_instructions)) return false;
     } else if (a == "--attack-every") {
       if (!next(opt.attack_every)) return false;
+    } else if (a == "--harden-every") {
+      if (!next(opt.harden_every)) return false;
     } else if (a == "--threads") {
       std::uint64_t t = 0;
       if (!next(t)) return false;
@@ -260,6 +265,7 @@ int run_fuzz(const Options& opt) {
   std::uint64_t iter = 0;
   std::uint64_t programs_checked = 0;
   std::uint64_t attacks_checked = 0;
+  std::uint64_t hardened_checked = 0;
 
   for (;; ++iter) {
     if (opt.seconds > 0) {
@@ -287,7 +293,15 @@ int run_fuzz(const Options& opt) {
     const auto gopt = generator_options(opt, iter);
     const auto program = fuzz::generate_program(rng, gopt);
     ++programs_checked;
-    const auto div = fuzz::check_program(program, limits);
+    auto div = fuzz::check_program(program, limits);
+    if (!div && opt.harden_every > 0 &&
+        iter % opt.harden_every == opt.harden_every - 1) {
+      // The same program again under a seeded hardened (ASLR + guarded
+      // heap) kernel: the relocated layout must be engine-invariant.
+      ++hardened_checked;
+      div = fuzz::check_hardened(program.source(), program.uses_smc,
+                                 program.uses_rdcycle, rng.next_u64(), limits);
+    }
     if (!div) {
       if (iter % 50 == 49) {
         std::printf("crs_fuzz: %llu iterations, %d divergence(s), %.1fs\n",
@@ -349,9 +363,10 @@ int run_fuzz(const Options& opt) {
   }
 
   std::printf(
-      "crs_fuzz: done — %llu programs + %llu attack configs checked in %.1fs, "
-      "%d divergence(s), %d repro(s) written\n",
+      "crs_fuzz: done — %llu programs (%llu also hardened) + %llu attack "
+      "configs checked in %.1fs, %d divergence(s), %d repro(s) written\n",
       static_cast<unsigned long long>(programs_checked),
+      static_cast<unsigned long long>(hardened_checked),
       static_cast<unsigned long long>(attacks_checked), elapsed(), divergences,
       repros_written);
   return divergences == 0 ? 0 : 1;

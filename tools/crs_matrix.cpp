@@ -27,6 +27,16 @@
 //                                     seeded generated corpus) after the
 //                                     built-in attacks
 //   crs_matrix --mined-seed S         corpus seed for --mined (default 2026)
+//   crs_matrix --harden-sweep         sweep the HARDENING presets (none,
+//                                     aslr, canary, heap-guard, full)
+//                                     against {stack-overflow,
+//                                     spec-probe-rop, spectre-1.1} instead
+//                                     of the mitigation matrix. --presets /
+//                                     --attempts / --seed / --csv /
+//                                     --metrics / --check / --quick apply;
+//                                     --check gates the hardening story
+//                                     (canary kills the classic overflow,
+//                                     the speculative attacks pierce full)
 //
 // Sweeps {spectre-pht, spectre-rsb, cr-spectre} × {mitigation presets} and
 // reports leak-success rate, HID detection over attack windows, mitigation
@@ -39,6 +49,7 @@
 #include <vector>
 
 #include "core/defense_matrix.hpp"
+#include "core/harden_matrix.hpp"
 #include "core/report.hpp"
 #include "mine/mine.hpp"
 #include "sim/cpu.hpp"
@@ -58,7 +69,7 @@ int usage(const char* argv0) {
                "[--attempts N] [--seed S] [--csv <path>] [--json <path>] "
                "[--metrics <path>] [--threads N] [--snapshot on|off] "
                "[--exec interp|blocks] [--bench-json <path>] "
-               "[--mined N] [--mined-seed S]\n",
+               "[--mined N] [--mined-seed S] [--harden-sweep]\n",
                argv0);
   return 2;
 }
@@ -140,6 +151,114 @@ int check_story(const core::DefenseMatrixResult& result) {
   return failures == 0 ? 0 : 1;
 }
 
+/// The harden-sweep CI gate: the classic overflow must die under canary,
+/// aslr and full, both speculative attacks must keep leaking under full,
+/// every row must leak in the unhardened column, and the none column must
+/// report zero hardening activity.
+int check_harden_story(const core::HardenMatrixResult& result) {
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "[crs_matrix] CHECK FAILED: %s\n", what.c_str());
+    ++failures;
+  };
+  const auto has = [&](const char* name) {
+    for (const auto& p : result.presets) {
+      if (p == name) return true;
+    }
+    return false;
+  };
+  for (const auto& attack : result.attacks) {
+    if (has("none") && result.cell(attack, "none").leaks == 0) {
+      fail(attack + " under 'none' never recovered the secret");
+    }
+  }
+  for (const char* preset : {"canary", "aslr", "full"}) {
+    if (!has(preset)) continue;
+    const auto& c = result.cell("stack-overflow", preset);
+    if (c.leaks != 0) {
+      fail("stack-overflow under '" + std::string(preset) + "' still leaked");
+    }
+  }
+  if (has("full")) {
+    for (const char* attack : {"spec-probe-rop", "spectre-1.1"}) {
+      const auto& c = result.cell(attack, "full");
+      if (c.leaks == 0) {
+        fail(std::string(attack) + " under 'full' never leaked — the "
+             "speculative bypass is broken");
+      }
+    }
+  }
+  if (has("none") && result.preset_summary("none").total_events() != 0) {
+    fail("'none' reported hardening activity");
+  }
+  if (failures == 0) {
+    std::fprintf(stderr,
+                 "[crs_matrix] harden check passed: hardening kills the "
+                 "classic overflow, the speculative attacks pierce it\n");
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+void print_harden_table(const core::HardenMatrixResult& result) {
+  std::printf("%-14s", "attack\\harden");
+  for (const auto& p : result.presets) std::printf(" %14s", p.c_str());
+  std::printf("\n");
+  for (const auto& attack : result.attacks) {
+    std::printf("%-14s", attack.c_str());
+    for (const auto& preset : result.presets) {
+      const auto& c = result.cell(attack, preset);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f/%d", c.leak_rate, c.launches);
+      std::printf(" %14s", buf);
+    }
+    std::printf("\n");
+  }
+  std::printf("%-14s", "ipc-ovh-%");
+  for (std::size_t i = 0; i < result.presets.size(); ++i) {
+    std::printf(" %14.2f", result.ipc_overhead_pct[i]);
+  }
+  std::printf("\n(cells: leak-rate / launches)\n");
+}
+
+/// The --harden-sweep mode: same CLI surface, hardening matrix underneath.
+int run_harden_sweep(const core::HardenMatrixConfig& config, bool check,
+                     const std::string& csv_path,
+                     const std::string& metrics_path,
+                     const std::string& bench_json_path) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::HardenMatrixResult result = core::run_harden_matrix(config);
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  print_harden_table(result);
+  if (!csv_path.empty()) {
+    core::write_text_file(csv_path, core::harden_matrix_csv(result));
+    std::fprintf(stderr, "[crs_matrix] wrote %s\n", csv_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    core::write_text_file(metrics_path,
+                          core::harden_matrix_metrics_csv(result));
+    std::fprintf(stderr, "[crs_matrix] wrote %s\n", metrics_path.c_str());
+  }
+  if (!bench_json_path.empty()) {
+    if (std::FILE* f = std::fopen(bench_json_path.c_str(), "a")) {
+      std::string presets;
+      for (const auto& p : result.presets) {
+        if (!presets.empty()) presets += ',';
+        presets += p;
+      }
+      std::fprintf(f,
+                   "{\"name\":\"crs_matrix:harden-%s\",\"wall_ms\":%.3f,"
+                   "\"items_per_s\":%.3f,\"config\":%s}\n",
+                   config.quick ? "quick" : "full", wall_ms,
+                   static_cast<double>(result.cells.size()) / (wall_ms / 1e3),
+                   core::bench_config_json(presets).c_str());
+      std::fclose(f);
+    }
+  }
+  return check ? check_harden_story(result) : 0;
+}
+
 void print_table(const core::DefenseMatrixResult& result) {
   std::printf("%-14s", "attack\\preset");
   for (const auto& p : result.presets) std::printf(" %14s", p.c_str());
@@ -168,6 +287,7 @@ int main(int argc, char** argv) {
   try {
     core::DefenseMatrixConfig config;
     bool check = false;
+    bool harden_sweep = false;
     int mined = 0;
     std::uint64_t mined_seed = 2026;
     std::string csv_path, json_path, metrics_path, bench_json_path;
@@ -180,6 +300,8 @@ int main(int argc, char** argv) {
         config.quick = true;
       } else if (args.take("--check")) {
         check = true;
+      } else if (args.take("--harden-sweep")) {
+        harden_sweep = true;
       } else if (args.take_value("--presets", value)) {
         config.presets = split(value, ',');
       } else if (args.take_int("--attempts", config.attempts)) {
@@ -201,6 +323,27 @@ int main(int argc, char** argv) {
       } else {
         args.unknown();
       }
+    }
+
+    if (harden_sweep) {
+      if (mined > 0) {
+        throw Error("--mined applies to the mitigation matrix, not "
+                    "--harden-sweep");
+      }
+      if (!json_path.empty()) {
+        throw Error("--json is not supported with --harden-sweep (use "
+                    "--csv / --metrics)");
+      }
+      core::HardenMatrixConfig hcfg;
+      hcfg.attempts = config.attempts;
+      hcfg.seed = config.seed;
+      hcfg.host_scale = config.host_scale;
+      hcfg.secret = config.secret;
+      hcfg.presets = config.presets;
+      hcfg.overhead_repeats = config.overhead_repeats;
+      hcfg.quick = config.quick;
+      return run_harden_sweep(hcfg, check, csv_path, metrics_path,
+                              bench_json_path);
     }
 
     const auto t0 = std::chrono::steady_clock::now();

@@ -25,6 +25,7 @@
 #include "hid/features.hpp"
 #include "obs/metrics.hpp"
 #include "support/error.hpp"
+#include "support/flags.hpp"
 #include "support/parallel.hpp"
 #include "support/table.hpp"
 
@@ -54,44 +55,25 @@ int usage() {
 }
 
 bool parse_args(int argc, char** argv, Options& opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    const auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (a == "--attempts") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.attempts = std::atoi(v);
-    } else if (a == "--windows") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.windows = static_cast<std::size_t>(std::atoll(v));
-    } else if (a == "--seed") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 0));
-    } else if (a == "--threads") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.threads = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-    } else if (a == "--interval-ms") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.interval_ms = std::atoi(v);
-    } else if (a == "--metrics") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      opt.metrics_path = v;
-    } else if (a == "--online") {
+  FlagCursor args(argc, argv);
+  while (args.more()) {
+    std::uint64_t u = 0;
+    if (args.take_int("--attempts", opt.attempts)) {
+    } else if (args.take_u64("--windows", u)) {
+      opt.windows = static_cast<std::size_t>(u);
+    } else if (args.take_u64("--seed", opt.seed)) {
+    } else if (args.take_u64("--threads", u)) {
+      opt.threads = static_cast<unsigned>(u);
+    } else if (args.take_int("--interval-ms", opt.interval_ms)) {
+    } else if (args.take_value("--metrics", opt.metrics_path)) {
+    } else if (args.take("--online")) {
       opt.online = true;
-    } else if (a == "--dynamic") {
+    } else if (args.take("--dynamic")) {
       opt.dynamic = true;
-    } else if (a == "--once") {
+    } else if (args.take("--once")) {
       opt.once = true;
     } else {
-      std::fprintf(stderr, "crs_top: unknown argument '%s'\n", a.c_str());
-      return false;
+      args.unknown();
     }
   }
   return opt.attempts > 0 && opt.windows > 0 && opt.interval_ms > 0;
@@ -109,7 +91,12 @@ std::string render_registry() {
 
 int main(int argc, char** argv) {
   Options opt;
-  if (!parse_args(argc, argv, opt)) return usage();
+  try {
+    if (!parse_args(argc, argv, opt)) return usage();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "crs_top: %s\n", e.what());
+    return usage();
+  }
   if (!obs::kEnabled) {
     std::fprintf(stderr,
                  "crs_top: built with CRSPECTRE_OBS=OFF — the registry stays "

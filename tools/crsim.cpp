@@ -15,6 +15,14 @@
 //                                    full) or a comma-joined flag list;
 //                                    unknown names are rejected with the
 //                                    valid listing
+//   crsim --harden <set> ...         run under a hardening preset (none,
+//                                    aslr, canary, heap-guard, full) or a
+//                                    comma-joined flag list. aslr relocates
+//                                    the image/stack per the kernel seed;
+//                                    heap-guard arms the redzone checks.
+//                                    The canary flag only takes effect for
+//                                    programs that declare a `__canary`
+//                                    slot (the workload scaffold does)
 //   crsim --snapshot on|off ...      force the snapshot/memo fast-reset
 //                                    engine on or off for library code that
 //                                    runs repeated attempts (off = legacy
@@ -40,6 +48,7 @@
 #include "casm/assembler.hpp"
 #include "casm/runtime.hpp"
 #include "core/report.hpp"
+#include "harden/config.hpp"
 #include "mitigate/config.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -79,7 +88,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: crsim [--disasm] [--threads N] [--bench-json <path>] "
                  "[--trace <out.json>] [--metrics <out.csv>] "
-                 "[--mitigations <preset|flags>] [--snapshot on|off] "
+                 "[--mitigations <preset|flags>] [--harden <preset|flags>] "
+                 "[--snapshot on|off] "
                  "[--exec interp|blocks] <prog.s> [args...]\n"
                  "       assembles with the runtime library and runs the "
                  "program on the simulator\n");
@@ -92,6 +102,7 @@ int main(int argc, char** argv) {
     std::string trace_path;
     std::string metrics_path;
     mitigate::MitigationConfig mitigations;
+    harden::HardenConfig harden;
     std::string value;
     FlagCursor args(argc, argv);
     while (args.more_flags()) {
@@ -100,6 +111,8 @@ int main(int argc, char** argv) {
         disasm = true;
       } else if (args.take_value("--mitigations", value)) {
         mitigations = mitigate::MitigationConfig::parse(value);
+      } else if (args.take_value("--harden", value)) {
+        harden = harden::HardenConfig::parse(value);
       } else if (args.take_value("--snapshot", value)) {
         apply_snapshot_flag(value);
       } else if (args.take_value("--exec", value)) {
@@ -140,6 +153,7 @@ int main(int argc, char** argv) {
     sim::MachineConfig mcfg;
     sim::KernelConfig kcfg;
     mitigations.apply(mcfg, kcfg);
+    harden.apply(kcfg);
     sim::Machine machine(mcfg);
     sim::Kernel kernel(machine, kcfg);
     const mitigate::Armed armed = mitigate::arm(kernel, mitigations);
@@ -205,6 +219,19 @@ int main(int argc, char** argv) {
         }
       }
       sum.publish("mitigate");
+    }
+    if (harden.any()) {
+      const harden::HardenSummary hsum = harden::summarize(kernel, harden);
+      std::fprintf(stderr, "[crsim] harden=%s events=%llu\n",
+                   harden.serialize().c_str(),
+                   static_cast<unsigned long long>(hsum.total_events()));
+      for (const auto& f : harden::summary_fields()) {
+        if (hsum.*(f.member) != 0) {
+          std::fprintf(stderr, "[harden] %-28s %llu\n", f.name,
+                       static_cast<unsigned long long>(hsum.*(f.member)));
+        }
+      }
+      hsum.publish("harden");
     }
     if (!metrics_path.empty()) {
       machine.publish_metrics("sim");

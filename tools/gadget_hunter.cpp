@@ -75,17 +75,28 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
-int usage() {
+void print_usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: gadget_hunter [--plan] [--metrics <out.csv>] <prog.s>\n"
       "       gadget_hunter [--gen N] [--seed S] [--gadget-bias P]\n"
       "                     [--corpus DIR] [--threads N] [--max-window W]\n"
       "                     [--no-validate] [--mine-csv F] [--mine-json F]\n"
       "                     [--emit-scenarios DIR]\n"
       "       gadget_hunter --update-golden [DIR]\n"
-      "       gadget_hunter --check-golden [DIR]\n");
+      "       gadget_hunter --check-golden [DIR]\n"
+      "       gadget_hunter --help\n");
+}
+
+int usage() {
+  print_usage(stderr);
   return 2;
+}
+
+/// `--help` is a success, not a usage error: print to stdout, exit 0.
+int help() {
+  print_usage(stdout);
+  return 0;
 }
 
 /// Every .casm file in `dir` as a (bare filename, source) pair, sorted by
@@ -357,7 +368,7 @@ int main(int argc, char** argv) {
       } else if (args.take("--update-golden")) {
         update_golden = true;
       } else if (args.take("--help")) {
-        return usage();
+        return help();
       } else {
         args.unknown();
       }

@@ -23,6 +23,7 @@
 #include "fuzz/golden.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/flags.hpp"
 #include "core/scenario.hpp"
 #include "hid/profiler.hpp"
 #include "sim/kernel.hpp"
@@ -83,42 +84,53 @@ attack::SpectreVariant parse_variant(const std::string& name) {
 
 int main(int argc, char** argv) {
   using namespace crs;
-  if (argc < 2) return usage();
-  const std::string mode = argv[1];
   try {
-    if (mode == "--golden") {
-      if (argc != 4) return usage();
-      return golden_compare(argv[2], argv[3]);
+    FlagCursor args(argc, argv);
+    if (!args.more()) return usage();
+
+    std::string value;
+    if (args.take_value("--golden", value)) {
+      if (!args.more()) return usage();
+      const std::string ref = args.take_positional();
+      if (args.more()) return usage();
+      return golden_compare(value, ref);
     }
-    if (mode == "--update-golden") {
-      if (argc > 3) return usage();
-      return golden_update(argc == 3 ? argv[2] : CRS_GOLDEN_DIR);
+    if (args.take("--update-golden")) {
+      const std::string dir =
+          args.more() ? args.take_positional() : CRS_GOLDEN_DIR;
+      if (args.more()) return usage();
+      return golden_update(dir);
     }
-    if (mode == "--chrome") {
-      if (argc != 4) return usage();
+    if (args.take_value("--chrome", value)) {
+      if (!args.more()) return usage();
+      const std::string out = args.take_positional();
+      if (args.more()) return usage();
       if (!obs::kEnabled) {
         std::fprintf(stderr,
                      "trace_export: built with CRSPECTRE_OBS=OFF — the trace "
                      "will be empty\n");
       }
       obs::set_tracing_enabled(true);
-      fuzz::golden_csv(argv[2]);  // runs the canonical scenario, traced
+      fuzz::golden_csv(value);  // runs the canonical scenario, traced
       obs::set_tracing_enabled(false);
       auto& sink = obs::TraceSink::instance();
-      core::write_text_file(argv[3], sink.chrome_json());
+      core::write_text_file(out, sink.chrome_json());
       std::printf("wrote %zu trace events to %s\n", sink.event_count(),
-                  argv[3]);
+                  out.c_str());
       return 0;
     }
-    if (argc < 4) return usage();
+    if (args.more_flags()) args.unknown();
+
+    const std::string mode = args.take_positional();
     std::vector<hid::WindowSample> windows;
     std::string out_path;
 
     if (mode == "benign") {
       if (argc != 5) return usage();
-      const std::string name = argv[2];
-      const auto scale = static_cast<std::uint64_t>(std::atoll(argv[3]));
-      out_path = argv[4];
+      const std::string name = args.take_positional();
+      const auto scale = static_cast<std::uint64_t>(
+          std::strtoull(args.take_positional().c_str(), nullptr, 0));
+      out_path = args.take_positional();
       if (!workloads::is_known_workload(name)) {
         throw Error("unknown workload '" + name + "'");
       }
@@ -132,17 +144,19 @@ int main(int argc, char** argv) {
               .windows;
     } else if (mode == "spectre") {
       if (argc != 4) return usage();
-      out_path = argv[3];
+      const std::string variant = args.take_positional();
+      out_path = args.take_positional();
       core::ScenarioConfig sc;
       sc.rop_injected = false;
-      sc.variant = parse_variant(argv[2]);
+      sc.variant = parse_variant(variant);
       windows = core::run_scenario(sc).profile.windows;
     } else if (mode == "crspectre") {
       if (argc != 5) return usage();
-      out_path = argv[4];
       core::ScenarioConfig sc;
-      sc.host = argv[2];
-      sc.host_scale = static_cast<std::uint64_t>(std::atoll(argv[3]));
+      sc.host = args.take_positional();
+      sc.host_scale = static_cast<std::uint64_t>(
+          std::strtoull(args.take_positional().c_str(), nullptr, 0));
+      out_path = args.take_positional();
       sc.rop_injected = true;
       sc.perturb = true;
       sc.perturb_params.delay = 1000;
