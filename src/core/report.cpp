@@ -53,6 +53,8 @@ std::string bench_config_json(const std::string& mitigations) {
   out += std::to_string(resolve_thread_count());
   out += ",\"snapshot\":\"";
   out += fast_reset_enabled() ? "on" : "off";
+  out += "\",\"cow\":\"";
+  out += cow_enabled() ? "on" : "off";
   out += "\",\"exec\":\"";
   out += sim::exec_engine_name(sim::default_exec_engine());
   out += "\",\"mitigations\":\"";

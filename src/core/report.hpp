@@ -23,7 +23,8 @@ void write_text_file(const std::string& path, const std::string& content);
 
 /// The run-configuration object every --bench-json reporter embeds as
 /// `"config":{...}`: worker-thread count, snapshot fast-reset engine,
-/// execution engine, and mitigation preset, all sampled from the
+/// copy-on-write fork engine, execution engine, and mitigation preset, all
+/// sampled from the
 /// process-wide state at emit time so perf records from crsim, crs_matrix
 /// and the micro benches stay comparable without each tool re-deriving the
 /// context. Pass the serialized mitigation set when one is armed; empty

@@ -241,7 +241,17 @@ ScenarioSession::ScenarioSession(const ScenarioConfig& config)
 }
 
 void ScenarioSession::build_machine() {
-  machine_ = std::make_unique<sim::Machine>(mcfg_);
+  // With cow on, every session (and every legacy --snapshot=off rebuild)
+  // replicates from the process-wide frozen baseline for this machine
+  // config in O(metadata) instead of paying a 16 MB private build — the
+  // fan-out path campaign/matrix/serve workers share one warm baseline
+  // through. A fork is bit-identical to Machine(mcfg_), so this is a cost
+  // switch only.
+  if (cow_enabled()) {
+    machine_ = std::make_unique<sim::Machine>(*sim::shared_baseline(mcfg_));
+  } else {
+    machine_ = std::make_unique<sim::Machine>(mcfg_);
+  }
   kernel_ = std::make_unique<sim::Kernel>(*machine_, kcfg_);
   armed_ = mitigate::arm(*kernel_, config_.mitigations);
   if (host_) kernel_->register_binary(kHostPath, *host_);

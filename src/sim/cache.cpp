@@ -123,6 +123,11 @@ void CacheLevel::flush_line(std::uint64_t addr) {
 void CacheLevel::clear() {
   for (auto& way : ways_) way = Way{};
   use_counter_ = 0;
+  // Disarm the MRU memo: a stale memo after clear() would let
+  // access_repeat_hits stamp an invalidated way (access() itself rechecks
+  // valid+tag, but the batched-credit path trusts the memo by contract).
+  mru_line_ = ~0ull;
+  mru_way_ = nullptr;
 }
 
 std::string CacheLevel::check_invariants() const {
@@ -144,6 +149,12 @@ std::string CacheLevel::check_invariants() const {
         }
       }
     }
+  }
+  // The MRU memo arms and disarms as a pair: a way pointer without a
+  // remembered line (or vice versa) means a half-scrubbed memo — the state
+  // access_repeat_hits' unarmed fallback keys off.
+  if ((mru_way_ == nullptr) != (mru_line_ == ~0ull)) {
+    return "MRU memo half-armed: way pointer and remembered line disagree";
   }
   // Stale memos (way reused for another line, or flushed) are legal — the
   // tag+valid recheck in access() catches them — but the memoized way must

@@ -76,10 +76,13 @@ class CacheLevel {
   /// one line: only fetches ever touch the L1I mid-block, and the full
   /// access() that opened the line memoized it, so each deferred access
   /// would have taken the memo path above. Leaves the level in exactly the
-  /// state n eager access() calls would have produced.
+  /// state n eager access() calls would have produced. On an unarmed memo
+  /// (fresh or clear()-ed level — the opening access() was dropped, so the
+  /// caller's guarantee is void) the batch still advances the use counter
+  /// and stats but has no way to stamp; the next real access re-arms.
   void access_repeat_hits(std::uint64_t n) {
     use_counter_ += n;
-    mru_way_->lru = use_counter_;
+    if (mru_way_ != nullptr) mru_way_->lru = use_counter_;
     if constexpr (obs::kEnabled) stats_.hits += n;
   }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -51,11 +52,25 @@ struct MachineConfig {
 };
 
 class MachineSnapshot;
+class MachineBaseline;
 
 /// Bundles the hardware: memory, caches, predictor, PMU and core.
 class Machine {
  public:
   explicit Machine(const MachineConfig& config = {});
+
+  /// Copy-on-write fork: replicates `base` (a frozen machine from
+  /// Machine::freeze()) in O(touched pages) — memory pages alias the
+  /// baseline's shared image until first write, micro-architectural state
+  /// is copied. By the freeze/fork contract the fork is indistinguishable
+  /// from the machine `base` was frozen from. Defined in sim/snapshot.cpp.
+  explicit Machine(const MachineBaseline& base);
+
+  /// Freezes this machine's full state into an immutable, refcounted
+  /// replication baseline any number of forks (across threads) can share.
+  /// Defined in sim/snapshot.cpp; include sim/snapshot.hpp for the
+  /// MachineBaseline definition.
+  std::shared_ptr<const MachineBaseline> freeze() const;
 
   /// Captures the full architectural + micro-architectural state (memory
   /// pages with permissions and content versions, caches incl. partition

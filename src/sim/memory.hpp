@@ -5,9 +5,25 @@
 // executable but not writable). The gadget scanner only scans executable
 // pages; the CPU faults on any fetch from a non-executable page, so a naive
 // "write shellcode to the stack" attack fails while the ROP chain succeeds.
+//
+// Backing modes (DESIGN.md §15). A Memory owns either
+//  - a private flat store (the classic mode: one contiguous allocation,
+//    zero-filled at construction), or
+//  - a copy-on-write view of a refcounted frozen MemoryImage: every page
+//    starts as a read-only alias of the shared baseline frame and is
+//    promoted to a private 4 KiB frame on its first write. A fork therefore
+//    costs O(metadata) to create and O(pages actually dirtied) to run —
+//    the replication engine behind population-scale campaign fan-out.
+// Both modes sit behind one per-page frame table, so the hot accessors are
+// mode-oblivious; the per-page content versions (the decode-cache / SMC
+// coherence machinery) work unchanged because promotions happen exactly on
+// the writes that bump them.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -25,18 +41,40 @@ enum Perm : std::uint8_t {
 
 enum class AccessKind { kRead, kWrite, kExecute };
 
+class MemoryImage;
+
 class Memory {
  public:
   static constexpr std::uint64_t kPageSize = 4096;
 
-  /// Size is rounded up to a whole number of pages. Pages start with no
-  /// permissions; mapping regions is the loader's job.
+  /// Private mode. Size is rounded up to a whole number of pages. Pages
+  /// start with no permissions; mapping regions is the loader's job.
   explicit Memory(std::uint64_t size_bytes);
 
-  std::uint64_t size() const { return bytes_.size(); }
+  /// Copy-on-write fork: every page aliases the image's frame until first
+  /// write. The image is refcounted and immutable, so any number of forks
+  /// (across threads) can share it concurrently.
+  explicit Memory(std::shared_ptr<const MemoryImage> image);
+
+  // The frame tables hold raw pointers into the backing stores. Moves are
+  // safe (vector/deque moves transfer the heap buffers the pointers target)
+  // but a copy would alias the source's frames — fork via freeze() instead.
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+  Memory(Memory&&) = default;
+  Memory& operator=(Memory&&) = default;
+
+  /// Freezes the current contents into an immutable, shareable image (the
+  /// fork baseline). Pristine pages — version 1, i.e. never written or
+  /// remapped — all alias one static zero page, so freezing a fresh 16 MiB
+  /// machine stores no page data at all.
+  std::shared_ptr<const MemoryImage> freeze() const;
+
+  std::uint64_t size() const { return size_; }
   std::uint64_t page_count() const { return perms_.size(); }
 
   /// Sets permissions for every page overlapping [addr, addr+len).
+  /// A zero-length span is a no-op (nothing overlaps it).
   void set_permissions(std::uint64_t addr, std::uint64_t len, Perm perm);
 
   /// Permissions of the page containing `addr` (kPermNone out of range).
@@ -58,22 +96,39 @@ class Memory {
   std::vector<std::uint8_t> read_bytes(std::uint64_t addr,
                                        std::uint64_t len) const;
 
-  /// Zero-copy view of [addr, addr+len); valid until the Memory is
-  /// destroyed (the backing store never reallocates). Used on the
-  /// instruction-fetch fast path.
+  /// Zero-copy view of [addr, addr+len) when the bytes are physically
+  /// contiguous (always within one page; across pages whenever the backing
+  /// frames happen to be adjacent), else a copy into an internal scratch
+  /// buffer. Valid until the next read_span call or any mutation of this
+  /// Memory. Used on the instruction-fetch fast path, whose callers decode
+  /// the span immediately.
   std::span<const std::uint8_t> read_span(std::uint64_t addr,
                                           std::uint64_t len) const;
-
-  /// Read-only view of the raw backing store (used by the gadget scanner).
-  std::span<const std::uint8_t> raw() const { return bytes_; }
 
   /// Monotonic per-page content version. Every write (write_u8/u64/bytes)
   /// and every permission change touching a page bumps its version, so
   /// consumers holding state derived from page contents (the decode cache)
   /// can detect staleness with one integer compare. Versions start at 1 so
-  /// a consumer initialised to 0 always misses on first use.
+  /// a consumer initialised to 0 always misses on first use. A fork starts
+  /// from the image's version values (compared only for equality
+  /// everywhere, so the inherited magnitudes are behaviour-neutral).
   std::uint32_t page_version(std::uint64_t page_index) const {
     return page_index < versions_.size() ? versions_[page_index] : 0;
+  }
+
+  /// True when this Memory is a copy-on-write fork of a shared image.
+  bool is_cow() const { return base_ != nullptr; }
+
+  /// Pages promoted to private frames so far (0 in private mode, where
+  /// every page is private by construction but none is *promoted*).
+  std::uint64_t promoted_pages() const { return promoted_pages_; }
+
+  /// Bytes of page data this Memory owns privately (excludes the shared
+  /// image and the per-page metadata tables): the whole store in private
+  /// mode, promoted frames only in COW mode. The bench's per-session
+  /// footprint metric.
+  std::uint64_t resident_bytes() const {
+    return bytes_.size() + promoted_pages_ * kPageSize;
   }
 
  private:
@@ -82,14 +137,63 @@ class Memory {
   friend class SnapshotAccess;
 
   void bump_versions(std::uint64_t addr, std::uint64_t len) {
+    if (len == 0) return;  // addr + len - 1 would underflow at addr == 0
     const std::uint64_t first = addr / kPageSize;
     const std::uint64_t last = (addr + len - 1) / kPageSize;
     for (std::uint64_t p = first; p <= last; ++p) ++versions_[p];
   }
 
-  std::vector<std::uint8_t> bytes_;
-  std::vector<std::uint8_t> perms_;  // one Perm byte per page
+  /// COW promotion: copies the shared frame into a fresh private frame and
+  /// repoints both table entries. Only reachable in COW mode (private-mode
+  /// write_frames_ entries are never null).
+  std::uint8_t* promote(std::uint64_t page);
+
+  /// Writable frame for `page`, promoting on first COW write. Does NOT bump
+  /// the version; callers bump exactly as the pre-COW store did.
+  std::uint8_t* frame_for_write(std::uint64_t page) {
+    std::uint8_t* f = write_frames_[page];
+    return f != nullptr ? f : promote(page);
+  }
+
+  std::uint64_t size_ = 0;
+  std::vector<std::uint8_t> bytes_;  // private-mode flat store (else empty)
+  std::shared_ptr<const MemoryImage> base_;  // COW baseline (else null)
+  // Promoted private frames; a deque never relocates existing elements, so
+  // the frame-table pointers stay valid as promotions accumulate.
+  std::deque<std::array<std::uint8_t, kPageSize>> private_frames_;
+  std::uint64_t promoted_pages_ = 0;
+  // Per-page frame tables — the one representation both modes share. A null
+  // write_frames_ entry means "shared, promote on first write".
+  std::vector<const std::uint8_t*> read_frames_;
+  std::vector<std::uint8_t*> write_frames_;
+  std::vector<std::uint8_t> perms_;      // one Perm byte per page
   std::vector<std::uint32_t> versions_;  // one content version per page
+  // Scratch for read_span calls that cross non-adjacent frames.
+  mutable std::vector<std::uint8_t> span_scratch_;
+};
+
+/// Immutable frozen copy of one Memory's full state, shared (refcounted)
+/// between any number of concurrent forks. Sparse: pristine pages alias a
+/// single static zero page instead of owning storage.
+class MemoryImage {
+ public:
+  MemoryImage() = default;
+  MemoryImage(const MemoryImage&) = delete;
+  MemoryImage& operator=(const MemoryImage&) = delete;
+
+  std::uint64_t size() const { return size_; }
+  std::uint64_t page_count() const { return frames_.size(); }
+  /// Pages that own storage (were non-pristine at freeze time).
+  std::uint64_t stored_page_count() const { return storage_.size(); }
+
+ private:
+  friend class Memory;
+
+  std::uint64_t size_ = 0;
+  std::vector<const std::uint8_t*> frames_;  // per page; zero page or storage_
+  std::deque<std::array<std::uint8_t, Memory::kPageSize>> storage_;
+  std::vector<std::uint8_t> perms_;
+  std::vector<std::uint32_t> versions_;
 };
 
 }  // namespace crs::sim

@@ -1,6 +1,8 @@
 #include "sim/snapshot.hpp"
 
 #include <cstring>
+#include <mutex>
+#include <unordered_map>
 
 #include "support/error.hpp"
 #include "support/memo.hpp"
@@ -22,6 +24,27 @@ class SnapshotAccess {
     snap.pmu_ = machine.pmu();
     capture_cpu(machine.cpu(), snap.cpu_);
     return snap;
+  }
+
+  static std::shared_ptr<const MachineBaseline> freeze(const Machine& m) {
+    auto base = std::make_shared<MachineBaseline>();
+    base->config_ = m.config();
+    base->image_ = m.memory().freeze();
+    base->state_ = capture(m);
+    return base;
+  }
+
+  /// Second half of the fork constructor: the members are already
+  /// constructed (memory from the shared image, the rest fresh from the
+  /// config); copy the frozen micro-architectural and CPU state over them,
+  /// exactly as restore() does minus the memory diff (the image IS the
+  /// memory state).
+  static void fork_init(Machine& machine, const MachineBaseline& base) {
+    machine.hierarchy() = *base.state_.hierarchy_;
+    scrub_mru(machine.hierarchy());
+    machine.predictor() = *base.state_.predictor_;
+    machine.pmu() = base.state_.pmu_;
+    restore_cpu(machine.cpu(), base.state_.cpu_);
   }
 
   static void restore(Machine& machine, MachineSnapshot& snap) {
@@ -52,8 +75,7 @@ class SnapshotAccess {
       MachineSnapshot::PageImage img;
       img.index = p;
       img.perm = mem.perms_[p];
-      std::memcpy(img.bytes.data(), mem.bytes_.data() + p * Memory::kPageSize,
-                  Memory::kPageSize);
+      std::memcpy(img.bytes.data(), mem.read_frames_[p], Memory::kPageSize);
       snap.pages_.push_back(std::move(img));
     }
   }
@@ -68,7 +90,8 @@ class SnapshotAccess {
       while (cursor < snap.pages_.size() && snap.pages_[cursor].index < p) {
         ++cursor;
       }
-      std::uint8_t* page = mem.bytes_.data() + p * Memory::kPageSize;
+      // frame_for_write promotes shared COW pages — a restore is a write.
+      std::uint8_t* page = mem.frame_for_write(p);
       if (cursor < snap.pages_.size() && snap.pages_[cursor].index == p) {
         std::memcpy(page, snap.pages_[cursor].bytes.data(), Memory::kPageSize);
         mem.perms_[p] = snap.pages_[cursor].perm;
@@ -131,6 +154,38 @@ void Machine::restore(MachineSnapshot& snap) {
   SnapshotAccess::restore(*this, snap);
 }
 
+Machine::Machine(const MachineBaseline& base)
+    : config_(base.config()),
+      memory_(base.image()),
+      hierarchy_(config_.hierarchy),
+      predictor_(config_.predictor),
+      pmu_(),
+      cpu_(memory_, hierarchy_, predictor_, pmu_, config_.cpu) {
+  SnapshotAccess::fork_init(*this, base);
+}
+
+std::shared_ptr<const MachineBaseline> Machine::freeze() const {
+  return SnapshotAccess::freeze(*this);
+}
+
+std::shared_ptr<const MachineBaseline> shared_baseline(
+    const MachineConfig& config) {
+  static std::mutex mutex;
+  static std::unordered_map<std::uint64_t,
+                            std::shared_ptr<const MachineBaseline>>
+      registry;
+  const std::uint64_t key = hash_machine_config(config);
+  std::lock_guard<std::mutex> lock(mutex);
+  const auto it = registry.find(key);
+  if (it != registry.end()) return it->second;
+  // One full build per distinct config for the process lifetime; every
+  // replica after this is an O(metadata) fork.
+  const Machine pristine(config);
+  auto base = pristine.freeze();
+  registry.emplace(key, base);
+  return base;
+}
+
 void Kernel::reset_for_attempt(std::uint64_t seed) {
   // Pair with Machine::restore to make a reused machine+kernel behave like
   // freshly-constructed ones: the RNG restarts exactly where a new
@@ -148,6 +203,20 @@ void Kernel::reset_for_attempt(std::uint64_t seed) {
 }
 
 Machine& MachinePool::acquire(const MachineConfig& config) {
+  if (cow_enabled()) {
+    return fork_from(shared_baseline(config));
+  }
+  return acquire_impl(config, nullptr);
+}
+
+Machine& MachinePool::fork_from(
+    const std::shared_ptr<const MachineBaseline>& base) {
+  return acquire_impl(base->config(), &base);
+}
+
+Machine& MachinePool::acquire_impl(
+    const MachineConfig& config,
+    const std::shared_ptr<const MachineBaseline>* base) {
   const std::uint64_t key = hash_machine_config(config);
   ++tick_;
   for (Entry& e : entries_) {
@@ -170,7 +239,12 @@ Machine& MachinePool::acquire(const MachineConfig& config) {
   Entry e;
   e.key = key;
   e.last_use = tick_;
-  e.machine = std::make_unique<Machine>(config);
+  if (base != nullptr) {
+    ++forks_;
+    e.machine = std::make_unique<Machine>(**base);
+  } else {
+    e.machine = std::make_unique<Machine>(config);
+  }
   e.snapshot = std::make_unique<MachineSnapshot>(e.machine->snapshot());
   entries_.push_back(std::move(e));
   return *entries_.back().machine;

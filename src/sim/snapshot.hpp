@@ -77,22 +77,64 @@ class MachineSnapshot {
   std::uint64_t restore_count_ = 0;
 };
 
+/// Frozen, shareable machine-replication baseline (DESIGN.md §15): one
+/// machine's full state — the memory contents as a refcounted sparse
+/// MemoryImage, plus caches, predictor, PMU and CPU — captured by
+/// Machine::freeze(). Immutable after creation, so any number of forks on
+/// any threads can replicate from it concurrently; a fork costs the
+/// metadata tables and the micro-architectural copy, never the 16 MB
+/// address space.
+class MachineBaseline {
+ public:
+  MachineBaseline() = default;
+  MachineBaseline(const MachineBaseline&) = delete;
+  MachineBaseline& operator=(const MachineBaseline&) = delete;
+
+  const MachineConfig& config() const { return config_; }
+  const std::shared_ptr<const MemoryImage>& image() const { return image_; }
+  /// Current references to the shared image: this baseline plus every live
+  /// fork (the soak tests bound it to prove forks release their frames).
+  long image_use_count() const { return image_.use_count(); }
+
+ private:
+  friend class SnapshotAccess;
+
+  MachineConfig config_;
+  std::shared_ptr<const MemoryImage> image_;
+  MachineSnapshot state_;  // micro-architectural + CPU state at freeze time
+};
+
+/// Process-wide fork baseline for `config`: freezes one fresh machine per
+/// distinct config (thread-safe, built at most once) and hands out the
+/// shared baseline. Because machine construction is deterministic, a fork
+/// of this baseline is bit-identical to Machine(config) — the property the
+/// cow-equivalence tests pin.
+std::shared_ptr<const MachineBaseline> shared_baseline(
+    const MachineConfig& config);
+
 /// Per-thread pool of reusable machines keyed by config hash. `acquire`
 /// returns a machine restored to its freshly-constructed state — by the
 /// snapshot contract, indistinguishable from `Machine(config)` — paying the
-/// construction (16 MB zero-fill, cache/predictor allocation) only on first
-/// use per config. Bounded LRU: least-recently-used entries are dropped
-/// when `capacity` distinct configs are live. The returned reference stays
-/// valid until the next acquire() evicts it, so use one machine at a time.
+/// construction only on first use per config: a full build (16 MB
+/// zero-fill, cache/predictor allocation) with cow off, an O(metadata) fork
+/// of the shared baseline with cow on. Bounded LRU: least-recently-used
+/// entries are dropped when `capacity` distinct configs are live. The
+/// returned reference stays valid until the next acquire() evicts it, so
+/// use one machine at a time.
 class MachinePool {
  public:
   explicit MachinePool(std::size_t capacity = 6) : capacity_(capacity) {}
 
   Machine& acquire(const MachineConfig& config);
 
+  /// Like acquire(config), but misses replicate by forking `base` instead
+  /// of consulting the cow switch. The caller keeps the baseline alive.
+  Machine& fork_from(const std::shared_ptr<const MachineBaseline>& base);
+
   std::size_t size() const { return entries_.size(); }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t forks() const { return forks_; }
 
  private:
   struct Entry {
@@ -102,10 +144,14 @@ class MachinePool {
     std::unique_ptr<MachineSnapshot> snapshot;
   };
 
+  Machine& acquire_impl(const MachineConfig& config,
+                        const std::shared_ptr<const MachineBaseline>* base);
+
   std::size_t capacity_;
   std::uint64_t tick_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t forks_ = 0;
   std::vector<Entry> entries_;
 };
 

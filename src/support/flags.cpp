@@ -39,4 +39,8 @@ void apply_snapshot_flag(const std::string& value) {
   set_fast_reset_enabled(parse_on_off("--snapshot", value));
 }
 
+void apply_cow_flag(const std::string& value) {
+  set_cow_enabled(parse_on_off("--cow", value));
+}
+
 }  // namespace crs

@@ -100,4 +100,8 @@ bool parse_on_off(const std::string& flag, const std::string& value);
 /// switch shared by crsim, crs_matrix and crs_serve).
 void apply_snapshot_flag(const std::string& value);
 
+/// Applies the repo-wide `--cow on|off` flag (the copy-on-write machine
+/// forking switch shared by crsim, crs_matrix and crs_serve).
+void apply_cow_flag(const std::string& value);
+
 }  // namespace crs

@@ -7,8 +7,8 @@ namespace crs {
 
 namespace {
 
-int initial_state() {
-  const char* env = std::getenv("CRS_SNAPSHOT");
+int initial_state(const char* var) {
+  const char* env = std::getenv(var);
   if (env != nullptr &&
       (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0)) {
     return 0;
@@ -17,7 +17,12 @@ int initial_state() {
 }
 
 std::atomic<int>& state() {
-  static std::atomic<int> s{initial_state()};
+  static std::atomic<int> s{initial_state("CRS_SNAPSHOT")};
+  return s;
+}
+
+std::atomic<int>& cow_state() {
+  static std::atomic<int> s{initial_state("CRS_COW")};
   return s;
 }
 
@@ -29,6 +34,14 @@ bool fast_reset_enabled() {
 
 void set_fast_reset_enabled(bool enabled) {
   state().store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+bool cow_enabled() {
+  return cow_state().load(std::memory_order_relaxed) != 0;
+}
+
+void set_cow_enabled(bool enabled) {
+  cow_state().store(enabled ? 1 : 0, std::memory_order_relaxed);
 }
 
 }  // namespace crs

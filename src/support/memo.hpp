@@ -28,6 +28,16 @@ namespace crs {
 bool fast_reset_enabled();
 void set_fast_reset_enabled(bool enabled);
 
+/// Process-wide copy-on-write fork switch. When on (the default), machine
+/// replication forks from a refcounted frozen baseline image — construction
+/// cost and resident footprint scale with the pages a run actually dirties
+/// instead of the full address space. When off, every machine is built
+/// privately (`--cow=off`, the debugging aid). Like the snapshot switch this
+/// is a cost switch, not a results switch: outputs are byte-identical either
+/// way. Defaults to on unless the CRS_COW environment variable is "off"/"0".
+bool cow_enabled();
+void set_cow_enabled(bool enabled);
+
 /// Incremental FNV-1a hasher for building content-addressed cache keys out
 /// of config structs. Every field feed is length-prefixed by its type width
 /// via the fixed-width overloads, so adjacent fields cannot alias.

@@ -131,6 +131,42 @@ TEST(Hierarchy, ClearResetsEverything) {
   EXPECT_FALSE(h.access_fetch(0x100).l1i_hit);
 }
 
+TEST(CacheLevel, RepeatHitsOnUnarmedMemoAreSafe) {
+  // Regression: access_repeat_hits dereferenced the MRU memo
+  // unconditionally; on a fresh (never-accessed) level that pointer is
+  // null. The batch must still advance the use counter without crashing.
+  CacheLevel fresh(CacheConfig{1024, 64, 2});
+  fresh.access_repeat_hits(5);
+  EXPECT_EQ(fresh.check_invariants(), "");
+  EXPECT_FALSE(fresh.access(0x100));  // level still works (cold miss)
+}
+
+TEST(CacheLevel, ClearDisarmsTheMemo) {
+  CacheLevel level(CacheConfig{1024, 64, 2});
+  level.access(0x100);  // arms the memo
+  level.clear();        // ...which clear() must scrub, not leave dangling
+  EXPECT_EQ(level.check_invariants(), "");
+  level.access_repeat_hits(3);  // unarmed fallback: no stamp, no crash
+  EXPECT_EQ(level.check_invariants(), "");
+  EXPECT_EQ(level.occupancy(), 0u);
+  // A real access re-arms the memo and repeat credits stamp again.
+  level.access(0x100);
+  level.access_repeat_hits(2);
+  EXPECT_EQ(level.check_invariants(), "");
+  EXPECT_TRUE(level.access(0x100));
+}
+
+TEST(Hierarchy, RepeatHitsAfterL1FlushAreSafe) {
+  // flush_l1 (the context-switch hygiene mitigation) clear()s the L1I; a
+  // block engine batch crediting immediately after must hit the unarmed
+  // fallback, not a stale way.
+  MemoryHierarchy h;
+  h.access_fetch(0x200);
+  h.flush_l1();
+  h.fetch_repeat_hits(4);
+  EXPECT_EQ(h.check_invariants(), "");
+}
+
 TEST(Hierarchy, DistinctLinesDoNotAlias) {
   MemoryHierarchy h;
   // 256 probe lines at 64-byte stride must be independently trackable

@@ -17,6 +17,11 @@
 //   crs_matrix --snapshot on|off      snapshot/memo fast-reset engine
 //                                     (default on; off = legacy rebuild of
 //                                     every machine and binary per attempt)
+//   crs_matrix --cow on|off           copy-on-write machine forking
+//                                     (default on: sessions replicate from
+//                                     a shared frozen baseline in O(dirty
+//                                     pages); off = private builds). Cost
+//                                     switch only — bytes identical
 //   crs_matrix --exec interp|blocks   execution engine for every simulated
 //                                     machine in the sweep (default blocks;
 //                                     results identical for either — the
@@ -68,6 +73,7 @@ int usage(const char* argv0) {
                "usage: %s [--quick] [--check] [--presets a,b,c] "
                "[--attempts N] [--seed S] [--csv <path>] [--json <path>] "
                "[--metrics <path>] [--threads N] [--snapshot on|off] "
+               "[--cow on|off] "
                "[--exec interp|blocks] [--bench-json <path>] "
                "[--mined N] [--mined-seed S] [--harden-sweep]\n",
                argv0);
@@ -316,6 +322,8 @@ int main(int argc, char** argv) {
         set_thread_override(static_cast<unsigned>(u));
       } else if (args.take_value("--snapshot", value)) {
         apply_snapshot_flag(value);
+      } else if (args.take_value("--cow", value)) {
+        apply_cow_flag(value);
       } else if (args.take_value("--exec", value)) {
         apply_exec_flag(value);
       } else if (args.take("--help")) {

@@ -2,7 +2,8 @@
 //
 //   crs_serve [--port N | --unix <path>] [--shards N] [--queue N]
 //             [--affinity on|off] [--session-cache N]
-//             [--snapshot on|off] [--threads N] [--metrics <out.csv>]
+//             [--snapshot on|off] [--cow on|off] [--threads N]
+//             [--metrics <out.csv>]
 //
 //     Listens for length-prefixed job frames (see src/serve/protocol.hpp),
 //     runs scenario/campaign/matrix/program jobs on N worker shards with
@@ -62,7 +63,7 @@ int usage() {
       stderr,
       "usage: crs_serve [--port N | --unix <path>] [--shards N] [--queue N]\n"
       "                 [--affinity on|off] [--session-cache N]\n"
-      "                 [--snapshot on|off] [--threads N] "
+      "                 [--snapshot on|off] [--cow on|off] [--threads N] "
       "[--metrics <out.csv>]\n"
       "       crs_serve --oneshot <jobspec-file|->\n"
       "       crs_serve --example scenario|campaign|matrix\n");
@@ -99,6 +100,8 @@ int main(int argc, char** argv) {
         config.session_cache_capacity = u;
       } else if (args.take_value("--snapshot", value)) {
         apply_snapshot_flag(value);
+      } else if (args.take_value("--cow", value)) {
+        apply_cow_flag(value);
       } else if (args.take_u64("--threads", u)) {
         set_thread_override(static_cast<unsigned>(u));
       } else if (args.take_value("--metrics", metrics_path)) {
